@@ -1,0 +1,13 @@
+"""Experiment E1: Remote-call overhead vs group size (sections 3.7, 6).
+
+Regenerates the E1 table of EXPERIMENTS.md.
+"""
+
+from repro.harness import e01_call_overhead
+
+from helpers import run_experiment
+
+
+def test_e01_call_overhead(benchmark):
+    result = run_experiment(benchmark, e01_call_overhead)
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,13 @@
+"""Experiment E2: Prepare-time force waits vs flush interval (section 3.7).
+
+Regenerates the E2 table of EXPERIMENTS.md.
+"""
+
+from repro.harness import e02_prepare_wait
+
+from helpers import run_experiment
+
+
+def test_e02_prepare_wait(benchmark):
+    result = run_experiment(benchmark, e02_prepare_wait)
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,13 @@
+"""Experiment E3: Commit force crossover vs stable storage (section 3.7).
+
+Regenerates the E3 table of EXPERIMENTS.md.
+"""
+
+from repro.harness import e03_commit_crossover
+
+from helpers import run_experiment
+
+
+def test_e03_commit_crossover(benchmark):
+    result = run_experiment(benchmark, e03_commit_crossover)
+    assert result.rows, "experiment produced no rows"

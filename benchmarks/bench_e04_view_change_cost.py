@@ -1,0 +1,13 @@
+"""Experiment E4: View change cost vs virtual partitions (sections 4.1, 5).
+
+Regenerates the E4 table of EXPERIMENTS.md.
+"""
+
+from repro.harness import e04_view_change_cost
+
+from helpers import run_experiment
+
+
+def test_e04_view_change_cost(benchmark):
+    result = run_experiment(benchmark, e04_view_change_cost)
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,13 @@
+"""Experiment E5: Messages per operation vs voting (section 5).
+
+Regenerates the E5 table of EXPERIMENTS.md.
+"""
+
+from repro.harness import e05_vs_voting
+
+from helpers import run_experiment
+
+
+def test_e05_vs_voting(benchmark):
+    result = run_experiment(benchmark, e05_vs_voting)
+    assert result.rows, "experiment produced no rows"

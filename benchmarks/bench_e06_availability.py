@@ -1,0 +1,13 @@
+"""Experiment E6: Write availability under churn (sections 4.2, 5).
+
+Regenerates the E6 table of EXPERIMENTS.md.
+"""
+
+from repro.harness import e06_availability
+
+from helpers import run_experiment
+
+
+def test_e06_availability(benchmark):
+    result = run_experiment(benchmark, e06_availability)
+    assert result.rows, "experiment produced no rows"

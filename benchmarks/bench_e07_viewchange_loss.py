@@ -1,0 +1,13 @@
+"""Experiment E7: Transaction loss across view changes (sections 1, 5, 6).
+
+Regenerates the E7 table of EXPERIMENTS.md.
+"""
+
+from repro.harness import e07_viewchange_loss
+
+from helpers import run_experiment
+
+
+def test_e07_viewchange_loss(benchmark):
+    result = run_experiment(benchmark, e07_viewchange_loss)
+    assert result.rows, "experiment produced no rows"

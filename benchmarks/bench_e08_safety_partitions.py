@@ -1,0 +1,13 @@
+"""Experiment E8: Safety under partitions (sections 1, 4.1).
+
+Regenerates the E8 table of EXPERIMENTS.md.
+"""
+
+from repro.harness import e08_safety_partitions
+
+from helpers import run_experiment
+
+
+def test_e08_safety_partitions(benchmark):
+    result = run_experiment(benchmark, e08_safety_partitions)
+    assert result.rows, "experiment produced no rows"

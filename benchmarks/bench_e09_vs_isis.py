@@ -1,0 +1,13 @@
+"""Experiment E9: Bytes per message vs Isis piggybacking (section 5).
+
+Regenerates the E9 table of EXPERIMENTS.md.
+"""
+
+from repro.harness import e09_vs_isis
+
+from helpers import run_experiment
+
+
+def test_e09_vs_isis(benchmark):
+    result = run_experiment(benchmark, e09_vs_isis)
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,13 @@
+"""Experiment E10: Nested transactions vs top-level aborts (section 3.6).
+
+Regenerates the E10 table of EXPERIMENTS.md.
+"""
+
+from repro.harness import e10_nested
+
+from helpers import run_experiment
+
+
+def test_e10_nested(benchmark):
+    result = run_experiment(benchmark, e10_nested)
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,13 @@
+"""Experiment E11: Catastrophes and stable-storage hardening (section 4.2).
+
+Regenerates the E11 table of EXPERIMENTS.md.
+"""
+
+from repro.harness import e11_catastrophe
+
+from helpers import run_experiment
+
+
+def test_e11_catastrophe(benchmark):
+    result = run_experiment(benchmark, e11_catastrophe)
+    assert result.rows, "experiment produced no rows"

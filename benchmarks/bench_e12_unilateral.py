@@ -1,0 +1,13 @@
+"""Experiment E12: Unilateral view edits vs full view changes (section 4.1).
+
+Regenerates the E12 table of EXPERIMENTS.md.
+"""
+
+from repro.harness import e12_unilateral
+
+from helpers import run_experiment
+
+
+def test_e12_unilateral(benchmark):
+    result = run_experiment(benchmark, e12_unilateral)
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,13 @@
+"""Experiment E13: End-to-end completion vs failures incl. pair (sections 5, 6).
+
+Regenerates the E13 table of EXPERIMENTS.md.
+"""
+
+from repro.harness import e13_end_to_end
+
+from helpers import run_experiment
+
+
+def test_e13_end_to_end(benchmark):
+    result = run_experiment(benchmark, e13_end_to_end)
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,145 @@
+"""Experiment E14: component microbenchmarks.
+
+Throughput of the building blocks -- viewstamp algebra, the communication
+buffer, the lock manager, the simulation kernel, and the network -- so
+regressions in the substrate are visible independently of protocol-level
+simulation studies.
+"""
+
+from repro.core.buffer import CommunicationBuffer
+from repro.core.events import Aborted
+from repro.core.viewstamp import History, ViewId, Viewstamp, compatible, vs_max
+from repro.net.link import LinkModel
+from repro.net.messages import Message
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.sim.node import Actor, Node
+from repro.txn.ids import Aid
+from repro.txn.locks import LockManager
+from repro.txn.objects import READ, WRITE, ObjectStore
+from repro.txn.pset import PSet
+
+VID = ViewId(3, 0)
+
+
+def test_viewstamp_ordering(benchmark):
+    stamps = [Viewstamp(ViewId(i % 7, i % 3), i) for i in range(200)]
+
+    def run():
+        return max(stamps), min(stamps), sorted(stamps)[100]
+
+    benchmark(run)
+
+
+def test_history_knows_and_compatible(benchmark):
+    history = History([Viewstamp(ViewId(i, 0), 50) for i in range(1, 20)])
+    pset = PSet()
+    for i in range(1, 20):
+        pset.add("g", Viewstamp(ViewId(i, 0), 25))
+
+    def run():
+        assert compatible(pset.pairs(), "g", history)
+        return vs_max(pset.pairs(), "g")
+
+    benchmark(run)
+
+
+def test_buffer_add_and_ack(benchmark):
+    sim = Simulator()
+
+    def run():
+        buffer = CommunicationBuffer(
+            viewid=VID,
+            backups=(1, 2),
+            configuration_size=3,
+            send=lambda mid, msg: None,
+            set_timer=lambda delay, fn, *a: sim.schedule(delay, fn, *a),
+            on_force_failure=lambda: None,
+            force_timeout=1000.0,
+        )
+        from repro.core.messages import BufferAckMsg
+
+        for i in range(200):
+            vs = buffer.add(Aborted(aid=Aid("g", VID, i)))
+            buffer.on_ack(BufferAckMsg(viewid=VID, acked_ts=vs.ts, mid=1))
+        return buffer.timestamp
+
+    benchmark(run)
+
+
+def test_lock_acquire_release(benchmark):
+    def run():
+        store = ObjectStore()
+        for i in range(20):
+            store.create(f"x{i}", 0)
+        locks = LockManager(store)
+        for txn in range(30):
+            aid = f"t{txn}"
+            for i in range(5):
+                locks.acquire(f"x{(txn + i) % 20}", aid, READ)
+            locks.acquire(f"x{txn % 20}", aid, WRITE)
+            locks.record_write(f"x{txn % 20}", aid, txn)
+            locks.release_reads(aid)
+            locks.install(aid)
+        return store.get("x0").version
+
+    benchmark(run)
+
+
+def test_sim_kernel_event_throughput(benchmark):
+    def run():
+        sim = Simulator()
+        count = {"n": 0}
+
+        def tick():
+            count["n"] += 1
+            if count["n"] < 5000:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run()
+        return count["n"]
+
+    benchmark(run)
+
+
+def test_network_send_deliver(benchmark):
+    import dataclasses
+
+    @dataclasses.dataclass
+    class Ping(Message):
+        n: int = 0
+
+    class Sink(Actor):
+        def __init__(self, node, address, network):
+            super().__init__(node, address)
+            self.count = 0
+            network.register(self)
+
+        def handle_message(self, message, source):
+            self.count += 1
+
+    def run():
+        sim = Simulator()
+        net = Network(sim, link=LinkModel(base_delay=1.0, jitter=0.5))
+        a = Sink(Node(sim, "na"), "a", net)
+        b = Sink(Node(sim, "nb"), "b", net)
+        for i in range(2000):
+            net.send("a", "b", Ping(n=i))
+        sim.run()
+        return b.count
+
+    benchmark(run)
+
+
+def test_end_to_end_txn_throughput(benchmark):
+    """Whole-stack benchmark: transactions/second of simulated work."""
+    from repro.harness.common import build_kv_system, run_kv_batch
+
+    def run():
+        rt, _kv, _clients, driver, spec = build_kv_system(seed=1414, n_cohorts=3)
+        stats = run_kv_batch(rt, driver, spec, 50, read_fraction=0.5)
+        assert stats.committed == 50
+        return rt.sim.events_processed
+
+    benchmark(run)

@@ -1,0 +1,13 @@
+"""Experiment E15: ablations of manager ordering and failure-detector tuning.
+
+Regenerates the E15 table of EXPERIMENTS.md.
+"""
+
+from repro.harness import e15_ablations
+
+from helpers import run_experiment
+
+
+def test_e15_ablations(benchmark):
+    result = run_experiment(benchmark, e15_ablations)
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md from the archived tables in benchmarks/results/.
+
+Run ``pytest benchmarks/ --benchmark-only`` first to refresh the tables,
+then ``python benchmarks/generate_experiments_md.py``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "benchmarks" / "results"
+
+PREAMBLE = """\
+# EXPERIMENTS — paper claims vs. measured results
+
+The PODC '88 paper has no empirical evaluation section ("we will be able to
+run experiments about system performance when our implementation is
+complete" — section 6), so the experiment set below reproduces **every
+quantitative claim** the paper makes, each against the baselines the paper
+itself names.  DESIGN.md section 2 maps each experiment to the modules and
+bench target that regenerate it; this file records the paper's claim next
+to what our implementation measures.
+
+Time units are simulated: the network's one-way LAN delay is 1.0 (+U[0,0.2]
+jitter), so a round trip is ~2.2.  Every run is deterministic given its
+seed.  Regenerate any table with its bench target, e.g.:
+
+    pytest benchmarks/bench_e01_call_overhead.py --benchmark-only -s
+
+All tables below are verbatim output of `pytest benchmarks/ --benchmark-only`
+(archived under `benchmarks/results/`).
+
+## Verdict summary
+
+| Exp | Claim (section) | Reproduced? | Shape observed |
+|-----|-----------------|-------------|----------------|
+| E1 | calls cost the same as unreplicated (3.7) | yes | latency flat 2.2 across n=1..7, = unreplicated; 2 sync msgs/call |
+| E2 | prepares usually need no force wait (3.7) | yes | wait fraction 0 with think time or eager flush; 1.0 with lazy flush |
+| E3 | replication beats stable storage iff comm < disk (3.7) | yes | crossover exactly at the ~2.2 round trip |
+| E4 | 1 round (+1 msg) vs virtual partitions' 3 phases (4.1, 5) | yes | VR O(n) msgs vs VP 4(n-1)+n(n-1); VR 6 vs VP 14 msgs at n=3 |
+| E5 | fewer messages than voting for writes (5) | yes | writes: 6.95 vs 8-12; pure reads: read-one voting wins, as the paper concedes |
+| E6 | majority availability vs write-all voting (4.2, 5) | yes | hardened VR ≈ majority voting >> write-all; volatile VR shows the 4.2 catastrophe exposure |
+| E7 | viewstamps avoid view-change aborts (1, 5, 6) | yes | 0 prepare refusals vs 28 under the virtual-partitions rule; force-on-call = 0 refusals at ~1.8x call latency |
+| E8 | no split brain; 1SR (1, 4.1) | yes | 5 seeded partition storms: money conserved, zero 1SR violations |
+| E9 | psets stay small; Isis grows unboundedly (5) | yes | VR flat ~133 B/msg; Isis 68 -> 1260 B/msg over 40 txns |
+| E10 | subactions retry instead of aborting (3.6) | yes | abort rate 0.45 -> 0.05; extra work only on actual view changes |
+| E11 | catastrophe stalls, never corrupts (4.2) | yes | volatile: stalls by design; UPS gstate: recovers with state intact |
+| E12 | unilateral edits avoid needless view changes (4.1) | yes | 13 view changes -> 0, absorbed by 9 cheap view-edit records |
+| E13 | pair survives one failure; VR generalizes (5, 6) | yes | at 2 failures: vr3 16/60 (stalls, by majority), vr5 58/60, pair 41/60 (dead after) |
+| E14 | component microbenchmarks | n/a | see `pytest benchmarks/bench_e14_micro.py --benchmark-only` |
+| E15 | ablations: ordered managers halve view-change traffic; detector tuning (4.1) | yes | 8 vs 16 manager rounds, 50 vs 100 messages for the same 4 useful view changes |
+
+Notes on calibration: absolute numbers depend on the simulated link and
+timeout parameters (see `repro/config.py`); the claims are about *shape* —
+who wins, by what factor, where crossovers sit — and every shape above
+matches the paper's argument.  Known deviations from the paper's text are
+documented in DESIGN.md ("Key design decisions" and the per-system
+substitution notes).
+
+---
+
+# Measured tables
+"""
+
+
+def main() -> None:
+    sections = [PREAMBLE]
+    for index in list(range(1, 14)) + [15]:
+        path = RESULTS / f"e{index}.txt"
+        if not path.exists():
+            sections.append(f"\n## E{index}\n\n(missing: run the bench first)\n")
+            continue
+        body = path.read_text().rstrip()
+        sections.append(f"\n```\n{body}\n```\n")
+    out = ROOT / "EXPERIMENTS.md"
+    out.write_text("\n".join(sections))
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Shared plumbing for the benchmark targets.
+
+Each ``bench_eNN_*.py`` regenerates one experiment table from
+EXPERIMENTS.md: the experiment runs once under pytest-benchmark (rounds=1
+-- these are simulation studies, not microbenchmarks), prints its table,
+and archives it under ``benchmarks/results/`` so EXPERIMENTS.md can be
+refreshed from a run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def run_experiment(benchmark, experiment_fn, **kwargs):
+    """Run one experiment under the benchmark fixture and archive its table."""
+    result = benchmark.pedantic(
+        lambda: experiment_fn(**kwargs), rounds=1, iterations=1
+    )
+    text = result.render()
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / f"{result.exp_id.lower()}.txt"
+    out.write_text(text + "\n")
+    return result

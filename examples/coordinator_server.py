@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Unreplicated clients and the coordinator-server (paper section 3.5).
+
+"Replicating a client that is not a server may not be worthwhile.  If the
+client is not replicated, it is still desirable for the coordinator to be
+highly available...  The client communicates with such a server when it
+starts a transaction, and when it commits or aborts; the coordinator-server
+carries out two-phase commit on the client's behalf...  In answering a
+query about a transaction that appears to still be active, it would check
+with the client, but if no reply is forthcoming, it can abort the
+transaction unilaterally."
+
+This example shows both halves:
+
+1. a plain (unreplicated) client agent runs transactions through a
+   replicated coordinator-server, and the transactions survive a crash of
+   the coordinator-server's *primary*;
+2. a client that dies mid-transaction leaves locks behind at the server --
+   the participant queries, the coordinator-server probes the dead client,
+   gets no answer, and aborts unilaterally, freeing the locks.
+
+Run:  python examples/coordinator_server.py
+"""
+
+from repro import EmptyModule, Runtime
+from repro.workloads.kv import KVStoreSpec
+
+
+def transfer_like(txn, key_a, key_b):
+    a = yield txn.call("kv", "incr", key_a, 1)
+    b = yield txn.call("kv", "incr", key_b, 1)
+    return (a, b)
+
+
+def stalls_forever(txn, key):
+    yield txn.call("kv", "incr", key, 100)
+    # ... the client crashes before finishing (see below); the write lock
+    # on `key` is now orphaned at the server.
+    from repro.sim.process import sleep
+
+    yield sleep(10_000.0)
+
+
+def main():
+    rt = Runtime(seed=77)
+    spec = KVStoreSpec(n_keys=8)
+    kv = rt.create_group("kv", spec, n_cohorts=3)
+    rt.create_group("coordsvc", EmptyModule(), n_cohorts=3)
+
+    print("== part 1: transactions from an unreplicated client ==")
+    agent = rt.create_agent("laptop", "coordsvc")
+    outcome = agent.run_transaction(transfer_like, spec.key(0), spec.key(1))
+    rt.run_for(600)
+    print(f"  transaction 1 -> {outcome.result()}")
+
+    coordsvc = rt.groups["coordsvc"]
+    victim = coordsvc.crash_primary()
+    print(f"  crashed coordinator-server primary (cohort {victim})")
+    rt.run_for(400)
+
+    outcome = agent.run_transaction(transfer_like, spec.key(2), spec.key(3))
+    rt.run_for(1500)
+    print(f"  transaction 2 (after coordinator failover) -> {outcome.result()}")
+
+    print("\n== part 2: a client that dies mid-transaction ==")
+    doomed = rt.create_agent("doomed-laptop", "coordsvc")
+    doomed_outcome = doomed.run_transaction(stalls_forever, spec.key(4))
+    rt.run_for(200)  # the call completes; locks are held at kv
+    primary = kv.active_primary()
+    held = primary.lockmgr.holders_of(spec.key(4))
+    print(f"  locks on {spec.key(4)} before the crash: {held}")
+    doomed.node.crash()
+    print("  client crashed; coordinator-server will probe it when queried")
+    rt.run_for(3000)  # janitor query -> probe -> unilateral abort
+    primary = kv.active_primary()
+    held = primary.lockmgr.holders_of(spec.key(4))
+    print(f"  locks on {spec.key(4)} after unilateral abort: {held}")
+    assert not held, "orphaned locks were not cleaned up"
+    aborts = [r for r in rt.ledger.aborted.values() if "unilateral" in r or "unresponsive" in r]
+    print(f"  ledger: {aborts}")
+
+    rt.quiesce()
+    rt.check_invariants()
+    print("\ncoordinator-server kept 2PC highly available for plain clients")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Split brain, prevented: a stale primary cannot commit (section 4.1).
+
+"The system performs correctly even if there are several active primaries.
+This situation could arise when there is a partition and the old primary is
+slow to notice the need for a view change and continues to respond to
+client requests even after the new view is formed.  The old primary will
+not be able to prepare and commit user transactions, however, since it
+cannot force their effects to the backups."
+
+We partition the old primary away with a client still talking to it.  The
+majority side forms a new view and keeps committing; the minority-side
+primary accepts calls but every commit attempt stalls at the force and the
+transaction never commits.  After healing, the group reconciles into one
+view with no divergence.
+
+Run:  python examples/partition_tolerance.py
+"""
+
+from repro import EmptyModule, Runtime
+from repro.workloads.kv import KVStoreSpec, update_program
+
+
+def main():
+    rt = Runtime(seed=99)
+    spec = KVStoreSpec(n_keys=4)
+    kv = rt.create_group("kv", spec, n_cohorts=3)
+    clients = rt.create_group("clients", EmptyModule(), n_cohorts=3)
+    clients.register_program("update", update_program)
+    # A second, independent client group that will be trapped with the old
+    # primary on the minority side of the partition.
+    minority_clients = rt.create_group("minority-clients", EmptyModule(), n_cohorts=1)
+    minority_clients.register_program("update", update_program)
+    driver = rt.create_driver("driver")
+    minority_driver = rt.create_driver("minority-driver")
+
+    # Warm up both drivers' caches.
+    for d in (driver, minority_driver):
+        group = "clients" if d is driver else "minority-clients"
+        outcome = d.submit(group, "update", "kv", spec.key(0))
+        rt.run_for(200)
+        assert outcome.result()[0] == "committed"
+
+    old_primary = kv.active_primary()
+    print(f"old primary: cohort {old_primary.mymid} in view {old_primary.cur_viewid}")
+
+    # Partition: old primary + the minority client group on one side;
+    # the two backups + the majority clients + driver on the other.
+    minority_nodes = {old_primary.node.node_id}
+    minority_nodes |= {n.node_id for n in minority_clients.nodes()}
+    minority_nodes.add("minority-driver-node")
+    all_nodes = set(rt.nodes)
+    rt.network.partition([minority_nodes, all_nodes - minority_nodes])
+    print(f"partitioned: minority side = {sorted(minority_nodes)}")
+
+    # The minority client talks to the old primary, which still thinks it
+    # is active: calls run, but the commit force can never reach a
+    # sub-majority, so the transaction cannot commit.
+    stale_txn = minority_driver.submit(
+        "minority-clients", "update", "kv", spec.key(1), retries=0
+    )
+    rt.run_for(700)
+    majority_primary = kv.active_primary()
+    print(f"majority side formed view {majority_primary.cur_viewid} "
+          f"with primary {majority_primary.mymid}")
+
+    # Majority side keeps committing meanwhile.
+    committed = 0
+    for _ in range(5):
+        outcome = driver.submit("clients", "update", "kv", spec.key(2))
+        rt.run_for(250)
+        if outcome.result()[0] == "committed":
+            committed += 1
+    print(f"majority side committed {committed}/5 transactions during the partition")
+
+    stale_result = stale_txn.result() if stale_txn.done else ("unknown", None)
+    print(f"minority-side transaction outcome: {stale_result[0]} "
+          "(it must never be 'committed')")
+    assert stale_result[0] != "committed"
+
+    rt.network.heal()
+    print("partition healed")
+    rt.run_for(1000)
+    rt.quiesce()
+    rt.check_invariants()
+    final = kv.active_primary()
+    print(f"group reconciled into view {final.cur_viewid}; "
+          f"key2={kv.read_object(spec.key(2))}, key1={kv.read_object(spec.key(1))}")
+    print("no split brain: committed history is one-copy serializable")
+
+
+if __name__ == "__main__":
+    main()

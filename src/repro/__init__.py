@@ -1,0 +1,72 @@
+"""repro: Viewstamped Replication (Oki & Liskov, PODC 1988), reproduced.
+
+A complete implementation of the viewstamped replication primary-copy
+method -- transaction processing with viewstamps and psets, the
+communication buffer, the view change algorithm -- on a deterministic
+discrete-event simulator, together with the baselines the paper compares
+against (quorum voting, virtual partitions, Isis-style piggybacking, an
+unreplicated 2PC system, a Tandem-style primary/backup pair).
+
+Quickstart::
+
+    from repro import EmptyModule, ModuleSpec, Runtime, procedure, transaction_program
+
+    class Counter(ModuleSpec):
+        def initial_objects(self):
+            return {"count": 0}
+
+        @procedure
+        def increment(self, ctx, amount):
+            value = yield ctx.read("count")
+            yield ctx.write("count", value + amount)
+            return value + amount
+
+    @transaction_program
+    def bump(txn, amount):
+        result = yield txn.call("counter", "increment", amount)
+        return result
+
+    rt = Runtime(seed=1)
+    rt.create_group("counter", Counter(), n_cohorts=3)
+    clients = rt.create_group("clients", EmptyModule(), n_cohorts=3)
+    clients.register_program("bump", bump)
+    driver = rt.create_driver("driver")
+    outcome = driver.submit("clients", "bump", 5)
+    rt.run_for(500)
+    print(outcome.result())  # ("committed", 5)
+"""
+
+from repro.app import (
+    CallContext,
+    EmptyModule,
+    ModuleSpec,
+    procedure,
+    transaction_program,
+)
+from repro.config import ProtocolConfig
+from repro.core import ModuleGroup, View, ViewId, Viewstamp
+from repro.driver import Driver
+from repro.net.link import LAN, LOSSY, LinkModel
+from repro.runtime import Runtime
+from repro.storage.stable import StableStoragePolicy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CallContext",
+    "Driver",
+    "EmptyModule",
+    "LAN",
+    "LOSSY",
+    "LinkModel",
+    "ModuleGroup",
+    "ModuleSpec",
+    "ProtocolConfig",
+    "Runtime",
+    "StableStoragePolicy",
+    "View",
+    "ViewId",
+    "Viewstamp",
+    "procedure",
+    "transaction_program",
+]

@@ -1,0 +1,234 @@
+"""Unreplicated client agents (paper section 3.5).
+
+"Replicating a client that is not a server, however, may not be
+worthwhile."  A :class:`ClientAgent` is a single, crashable process that:
+
+1. registers each transaction with a replicated *coordinator-server* group,
+   obtaining an aid whose groupid names that server (so participants know
+   whom to query);
+2. makes the transaction's remote calls itself, accumulating the pset;
+3. hands the pset back to the coordinator-server, which runs two-phase
+   commit on its behalf and answers outcome queries;
+4. answers the coordinator-server's liveness probes -- if the agent dies
+   mid-transaction, the coordinator-server aborts unilaterally once a probe
+   goes unanswered.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core import messages as m
+from repro.core.cache import ClientCache
+from repro.core.calls import CallAborted, RemoteCaller
+from repro.sim.errors import CancelledError
+from repro.sim.future import Future
+from repro.sim.node import Actor, Node
+from repro.txn.ids import Aid, CallId
+from repro.txn.pset import PSet
+
+
+class AgentTransaction:
+    """Transaction handle used inside a client agent's program."""
+
+    def __init__(self, agent: "ClientAgent", aid: Aid):
+        self._agent = agent
+        self.aid = aid
+        self.pset = PSet()
+        self.aborted_subactions: set[int] = set()
+        self._call_seq = 0
+
+    def call(self, groupid: str, proc: str, *args: Any) -> Future:
+        self._call_seq += 1
+        call_id = CallId(aid=self.aid, seq=self._call_seq, subaction=self._call_seq)
+        done = Future(label=f"agentcall:{call_id}")
+        attempt = self._agent.caller.call(
+            self.aid, groupid, proc, tuple(args), call_id
+        )
+
+        def on_done(future: Future) -> None:
+            error = future.exception()
+            if error is not None:
+                done.set_exception(error)
+                return
+            result, pset_pairs, _piggyback = future.result()
+            for pair in pset_pairs:
+                self.pset.add(pair.groupid, pair.vs)
+            done.set_result(result)
+
+        attempt.add_done_callback(on_done)
+        return done
+
+    def abort(self, reason: str = "aborted by program") -> None:
+        raise CallAborted(reason)
+
+
+class ClientAgent(Actor):
+    """An unreplicated client running transactions via a coordinator-server."""
+
+    def __init__(self, node: Node, runtime, name: str, coordinator_group: str):
+        super().__init__(node, name)
+        self.runtime = runtime
+        self.config = runtime.config
+        self.coordinator_group = coordinator_group
+        self.metrics = runtime.metrics
+        self.cache = ClientCache()
+        self.caller = RemoteCaller(self)
+        self._next_request = 0
+        self._begin_waiters: Dict[int, Future] = {}
+        self._finish_waiters: Dict[Aid, Future] = {}
+        self._active_aids: set[Aid] = set()
+        runtime.network.register(self)
+
+    # -- host interface for RemoteCaller -----------------------------------
+
+    def send(self, destination: str, message) -> None:
+        self.runtime.network.send(self.address, destination, message)
+
+    def locate(self, groupid: str):
+        return self.runtime.location.lookup(groupid)
+
+    # -- running programs --------------------------------------------------------
+
+    def run_transaction(self, program, *args: Any) -> Future:
+        """Run *program(txn, ...)*; resolves to (outcome, result)."""
+        return self.spawn(
+            self._run(program, args), name=f"agent-txn@{self.address}"
+        )
+
+    def _run(self, program, args: Tuple):
+        aid = yield self._begin()
+        txn = AgentTransaction(self, aid)
+        self._active_aids.add(aid)
+        try:
+            generated = program(txn, *args)
+            if hasattr(generated, "send"):
+                result = yield from generated
+            else:
+                result = generated
+        except CallAborted as error:
+            self._active_aids.discard(aid)
+            outcome = yield self._finish(txn, "abort")
+            return ("aborted", None)
+        self._active_aids.discard(aid)
+        outcome = yield self._finish(txn, "commit")
+        return (outcome, result if outcome == "committed" else None)
+
+    # -- begin -----------------------------------------------------------------
+
+    def _begin(self) -> Future:
+        self._next_request += 1
+        request_id = self._next_request
+        future = Future(label=f"begin:{request_id}")
+        self._begin_waiters[request_id] = future
+        self._send_begin(request_id, retries=6)
+        return future
+
+    def _send_begin(self, request_id: int, retries: int) -> None:
+        if request_id not in self._begin_waiters:
+            return
+        target = self._coordinator_primary()
+        if target is not None:
+            self.send(
+                target,
+                m.BeginTxnMsg(request_id=request_id, client=self.address),
+            )
+        if target is None or retries < 6:
+            # First attempt went unanswered (or we have no target): the
+            # primary may have moved; probe for the current view.
+            self._probe_coordinator()
+        if retries <= 0:
+            future = self._begin_waiters.pop(request_id, None)
+            if future is not None and not future.done:
+                future.set_exception(CallAborted("coordinator-server unreachable"))
+            return
+        self.set_timer(
+            self.config.call_timeout, self._send_begin, request_id, retries - 1
+        )
+
+    # -- finish -----------------------------------------------------------------
+
+    def _finish(self, txn: AgentTransaction, decision: str) -> Future:
+        future = Future(label=f"finish:{txn.aid}")
+        self._finish_waiters[txn.aid] = future
+        self._send_finish(txn, decision, retries=8)
+        return future
+
+    def _send_finish(self, txn: AgentTransaction, decision: str, retries: int) -> None:
+        if txn.aid not in self._finish_waiters:
+            return
+        target = self._coordinator_primary()
+        if target is not None:
+            self.send(
+                target,
+                m.FinishTxnMsg(
+                    aid=txn.aid,
+                    decision=decision,
+                    pset_pairs=tuple(txn.pset.pairs()),
+                    aborted_subactions=tuple(sorted(txn.aborted_subactions)),
+                    client=self.address,
+                ),
+            )
+        if target is None or retries < 8:
+            self._probe_coordinator()
+        if retries <= 0:
+            future = self._finish_waiters.pop(txn.aid, None)
+            if future is not None and not future.done:
+                future.set_result("unknown")
+            return
+        self.set_timer(
+            self.config.call_timeout * 2, self._send_finish, txn, decision, retries - 1
+        )
+
+    def _coordinator_primary(self) -> Optional[str]:
+        entry = self.cache.get(self.coordinator_group)
+        return entry.primary_address if entry is not None else None
+
+    def _probe_coordinator(self) -> None:
+        for _mid, address in self.locate(self.coordinator_group):
+            self.send(address, m.ViewProbeMsg(reply_to=self.address))
+
+    # -- message handling -----------------------------------------------------------
+
+    def handle_message(self, message, source: str) -> None:
+        if isinstance(message, m.ReplyMsg):
+            self.caller.on_reply(message)
+        elif isinstance(message, m.CallFailedMsg):
+            self.caller.on_call_failed(message)
+        elif isinstance(message, m.ViewChangedMsg):
+            self.caller.on_view_changed(message)
+            if message.groupid == self.coordinator_group:
+                self.cache.invalidate(self.coordinator_group)
+                self._probe_coordinator()
+        elif isinstance(message, m.ViewProbeReplyMsg):
+            self.caller.on_probe_reply(message)
+            if message.groupid and message.active and message.view is not None:
+                primary_address = None
+                for mid, address in self.runtime.location.lookup(message.groupid):
+                    if mid == message.view.primary:
+                        primary_address = address
+                self.cache.update(
+                    message.groupid, message.viewid, message.view, primary_address
+                )
+        elif isinstance(message, m.BeginTxnReplyMsg):
+            future = self._begin_waiters.pop(message.request_id, None)
+            if future is not None and not future.done:
+                future.set_result(message.aid)
+        elif isinstance(message, m.FinishTxnReplyMsg):
+            future = self._finish_waiters.pop(message.aid, None)
+            if future is not None and not future.done:
+                future.set_result(message.outcome)
+        elif isinstance(message, m.ClientProbeMsg):
+            self.send(
+                source,
+                m.ClientProbeReplyMsg(
+                    aid=message.aid, active=message.aid in self._active_aids
+                ),
+            )
+
+    def on_crash(self) -> None:
+        self._begin_waiters.clear()
+        self._finish_waiters.clear()
+        self._active_aids.clear()
+        self.caller.abandon_all("client crashed")

@@ -1,0 +1,29 @@
+"""Measurement and correctness-checking substrate.
+
+- :mod:`repro.analysis.metrics` -- message/byte/latency accounting shared by
+  the network, the protocol, and the experiment harness.
+- :mod:`repro.analysis.serializability` -- one-copy serializability checker
+  (the paper's correctness criterion, section 1) over committed histories.
+- :mod:`repro.analysis.tables` -- plain-text table rendering for the
+  experiment harness.
+"""
+
+from repro.analysis.ledger import LedgerViolation, TransactionLedger
+from repro.analysis.metrics import LatencyStat, Metrics
+from repro.analysis.serializability import (
+    CommittedTransaction,
+    SerializabilityChecker,
+    SerializabilityViolation,
+)
+from repro.analysis.tables import render_table
+
+__all__ = [
+    "CommittedTransaction",
+    "LatencyStat",
+    "LedgerViolation",
+    "Metrics",
+    "SerializabilityChecker",
+    "SerializabilityViolation",
+    "TransactionLedger",
+    "render_table",
+]

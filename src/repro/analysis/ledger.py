@@ -1,0 +1,121 @@
+"""The transaction ledger: authoritative ground truth for one run.
+
+Protocol code reports decisions here at the instant they become durable
+(commit = the committing record is majority-known; abort = the coordinator
+gave up).  The ledger is a *simulation-level* observer -- it carries no
+protocol state back into the system -- and feeds:
+
+- the one-copy serializability checker (committed read/write sets),
+- exactly-once accounting (a transaction must never be both committed and
+  aborted),
+- view-change and availability statistics for the experiment harness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.serializability import (
+    CommittedTransaction,
+    SerializabilityChecker,
+)
+
+
+class LedgerViolation(AssertionError):
+    """The protocol reported contradictory outcomes for one transaction."""
+
+
+@dataclasses.dataclass
+class ViewChangeEvent:
+    groupid: str
+    viewid: object
+    primary: int
+    completed_at: float
+
+
+class TransactionLedger:
+    """Ground-truth record of everything that was decided during a run."""
+
+    def __init__(self, clock=None) -> None:
+        self._clock = clock  # callable returning current sim time, or None
+        self.committed: Dict[object, float] = {}
+        self.aborted: Dict[object, str] = {}
+        self.effects: Dict[Tuple[object, str], Tuple[dict, dict]] = {}
+        self.view_changes: List[ViewChangeEvent] = []
+        self.view_change_started: List[Tuple[str, float]] = []
+
+    def _now(self) -> float:
+        return self._clock() if self._clock is not None else 0.0
+
+    # -- protocol-facing hooks ------------------------------------------------
+
+    def record_commit(self, aid) -> None:
+        if aid in self.aborted:
+            raise LedgerViolation(
+                f"{aid} committed after being reported aborted "
+                f"({self.aborted[aid]!r})"
+            )
+        self.committed.setdefault(aid, self._now())
+
+    def record_abort(self, aid, reason: str) -> None:
+        if aid in self.committed:
+            raise LedgerViolation(f"{aid} aborted after being reported committed")
+        self.aborted.setdefault(aid, reason)
+
+    def record_effects(self, aid, groupid: str, reads: dict, writes: dict) -> None:
+        """First report per (aid, group) wins; retries are idempotent."""
+        self.effects.setdefault((aid, groupid), (dict(reads), dict(writes)))
+
+    def record_view_change_started(self, groupid: str, at: float) -> None:
+        self.view_change_started.append((groupid, at))
+
+    def record_view_change(self, groupid: str, viewid, primary: int) -> None:
+        self.view_changes.append(
+            ViewChangeEvent(
+                groupid=groupid,
+                viewid=viewid,
+                primary=primary,
+                completed_at=self._now(),
+            )
+        )
+
+    # -- analysis ------------------------------------------------------------
+
+    def committed_transactions(self) -> List[CommittedTransaction]:
+        merged: Dict[object, CommittedTransaction] = {}
+        for (aid, groupid), (reads, writes) in self.effects.items():
+            if aid not in self.committed:
+                continue
+            txn = merged.setdefault(aid, CommittedTransaction(aid=aid))
+            for uid, version in reads.items():
+                txn.reads[(groupid, uid)] = version
+            for uid, version in writes.items():
+                txn.writes[(groupid, uid)] = version
+        return list(merged.values())
+
+    def check_serializability(self) -> None:
+        SerializabilityChecker(self.committed_transactions()).check()
+
+    def abort_reasons(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for reason in self.aborted.values():
+            counts[reason] = counts.get(reason, 0) + 1
+        return counts
+
+    @property
+    def commit_count(self) -> int:
+        return len(self.committed)
+
+    @property
+    def abort_count(self) -> int:
+        return len(self.aborted)
+
+    def view_changes_for(self, groupid: str) -> List[ViewChangeEvent]:
+        return [event for event in self.view_changes if event.groupid == groupid]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TransactionLedger(committed={self.commit_count}, "
+            f"aborted={self.abort_count}, view_changes={len(self.view_changes)})"
+        )

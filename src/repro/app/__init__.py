@@ -1,0 +1,33 @@
+"""The module programming model (paper sections 1-2).
+
+"A distributed program consists of modules...  Each module contains within
+it both data objects and code that manipulates the objects; modules
+communicate by means of remote procedure calls...  Modules are the unit of
+replication: ideally, programmers would write programs without concern for
+availability...  The language implementation then uses our technique to
+replicate individual modules automatically."
+
+The paper's substrate was the Argus language runtime; here a module is a
+:class:`ModuleSpec` subclass whose ``@procedure`` generator methods run at
+the group's primary, reading and writing atomic objects through a
+:class:`CallContext` (which acquires strict-2PL locks and records the
+effects that become completed-call event records).
+"""
+
+from repro.app.context import CallContext, LockTimeout, TransactionAborted
+from repro.app.module import (
+    EmptyModule,
+    ModuleSpec,
+    procedure,
+    transaction_program,
+)
+
+__all__ = [
+    "CallContext",
+    "EmptyModule",
+    "LockTimeout",
+    "ModuleSpec",
+    "TransactionAborted",
+    "procedure",
+    "transaction_program",
+]

@@ -1,0 +1,103 @@
+"""Module specifications: the user-facing unit of replication."""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, Dict
+
+
+def procedure(fn: Callable) -> Callable:
+    """Mark a ModuleSpec generator method as a remotely callable procedure.
+
+    Procedures are generator functions: they ``yield`` the futures returned
+    by :class:`~repro.app.context.CallContext` operations::
+
+        @procedure
+        def deposit(self, ctx, amount):
+            balance = yield ctx.read("balance")
+            yield ctx.write("balance", balance + amount)
+            return balance + amount
+    """
+    fn._vr_procedure = True
+    return fn
+
+
+def transaction_program(fn=None, *, subactions: bool = False):
+    """Mark a function as a transaction program runnable at a client group.
+
+    Programs are generator functions receiving a
+    :class:`~repro.core.client_role.Transaction` handle::
+
+        @transaction_program
+        def transfer(txn, src, dst, amount):
+            yield txn.call("bank", "withdraw", src, amount)
+            yield txn.call("bank", "deposit", dst, amount)
+
+    ``subactions=True`` opts into section 3.6 semantics: a call that gets
+    no reply aborts only its own subaction and is retried, instead of
+    aborting the whole transaction.
+    """
+
+    def mark(target):
+        target._vr_program = True
+        target._vr_subactions = subactions
+        return target
+
+    if fn is not None:
+        return mark(fn)
+    return mark
+
+
+class ModuleSpec:
+    """Base class for replicated modules.
+
+    Subclasses override :meth:`initial_objects` to declare the module's
+    atomic objects and define ``@procedure`` methods (server side) and/or
+    ``@transaction_program`` methods (client side).  One instance of the
+    spec is shared by every cohort of the group; it must therefore hold no
+    mutable per-replica state -- all state lives in the group's objects.
+    """
+
+    def initial_objects(self) -> Dict[str, Any]:
+        """uid -> initial base value for every object in the group state."""
+        return {}
+
+    # -- procedures (server side) -----------------------------------------
+
+    def procedures(self) -> Dict[str, Callable]:
+        """All ``@procedure``-marked methods, by name."""
+        procs = {}
+        for name, member in inspect.getmembers(self, predicate=callable):
+            if getattr(member, "_vr_procedure", False):
+                procs[name] = member
+        return procs
+
+    def procedure_named(self, name: str) -> Callable:
+        member = getattr(self, name, None)
+        if member is None or not getattr(member, "_vr_procedure", False):
+            raise KeyError(f"{type(self).__name__} has no procedure {name!r}")
+        return member
+
+    # -- transaction programs (client side) ----------------------------------
+
+    def register_program(self, name: str, fn: Callable) -> None:
+        """Attach a free-standing transaction program under *name*."""
+        if not hasattr(self, "_programs"):
+            self._programs: Dict[str, Callable] = {}
+        self._programs[name] = fn
+
+    def transaction_program(self, name: str) -> Callable:
+        programs = getattr(self, "_programs", {})
+        if name in programs:
+            return programs[name]
+        member = getattr(self, name, None)
+        if member is not None and getattr(member, "_vr_program", False):
+            return member
+        raise KeyError(
+            f"{type(self).__name__} has no transaction program {name!r}"
+        )
+
+
+class EmptyModule(ModuleSpec):
+    """A module with no objects or procedures -- used for pure client
+    groups, whose cohorts only originate transactions."""

@@ -1,0 +1,29 @@
+"""Baseline systems the paper compares against (section 5).
+
+- :mod:`repro.baselines.unreplicated` -- a conventional non-replicated
+  transaction system with stable storage (section 3.7's correspondence).
+- :mod:`repro.baselines.voting` -- Gifford-style quorum consensus
+  (read-one/write-all and majority quorums) at the operation level.
+- :mod:`repro.baselines.pair` -- a Tandem-style primary/backup pair.
+- :mod:`repro.baselines.isis_like` -- Isis-style effect piggybacking with
+  byte accounting.
+- :mod:`repro.baselines.virtual_partitions` -- the three-phase virtual
+  partitions view-change protocol, for message/round cost comparison.
+"""
+
+from repro.baselines.unreplicated import build_unreplicated_system
+from repro.baselines.voting import VotingClient, VotingSystem
+from repro.baselines.pair import PairClient, PairSystem
+from repro.baselines.isis_like import IsisClient, IsisSystem
+from repro.baselines.virtual_partitions import VirtualPartitionsGroup
+
+__all__ = [
+    "IsisClient",
+    "IsisSystem",
+    "PairClient",
+    "PairSystem",
+    "VirtualPartitionsGroup",
+    "VotingClient",
+    "VotingSystem",
+    "build_unreplicated_system",
+]

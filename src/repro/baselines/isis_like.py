@@ -1,0 +1,295 @@
+"""Isis-style replication with effect piggybacking (section 5).
+
+"In Isis, calls are sent to a single cohort...  the cohort communicates the
+effects of reads and writes to other cohorts in background mode, and
+piggybacks them on reply messages.  This piggybacked information
+accompanies all future client messages, including calls to other servers
+as well as prepare and commit messages...  Unlike our pset, however,
+piggybacked information in Isis cannot be discarded when transactions
+commit.  A disadvantage of Isis is the large amount of extra information
+flowing on every message, and the difficulty in garbage collecting that
+information."
+
+This baseline reproduces exactly that byte-flow behaviour (experiment E9):
+
+- a call goes to *any* cohort of the group;
+- writes acquire locks at all cohorts (simplified two-round write-lock
+  acquisition), reads lock locally;
+- the cohort returns the call's effects in the reply's piggyback;
+- the client accumulates every effect it has ever seen and attaches the
+  whole set to **every** subsequent message -- there is no commit-time
+  discard, so the payload grows without bound;
+- cohorts apply piggybacked effects they have not yet seen, which is what
+  lets any cohort serve any later call without waiting for background
+  propagation.
+
+Byte volumes are measured by the network metrics via each message's
+structural size, so the comparison against viewstamped replication's psets
+is apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.net.messages import Message
+from repro.sim.future import Future
+from repro.sim.node import Actor, Node
+
+
+@dataclasses.dataclass(frozen=True)
+class Effect:
+    """One recorded state change, identified globally."""
+
+    effect_id: int
+    key: str
+    value: Any
+
+
+@dataclasses.dataclass
+class IsisCallReq(Message):
+    op_id: int
+    op: str  # "read" | "write" | "add"
+    key: str
+    value: Any
+    reply_to: str
+    piggyback: Tuple[Effect, ...] = ()
+
+
+@dataclasses.dataclass
+class IsisCallReply(Message):
+    op_id: int
+    result: Any
+    piggyback: Tuple[Effect, ...] = ()
+
+
+@dataclasses.dataclass
+class IsisWriteLockReq(Message):
+    op_id: int
+    key: str
+    reply_to: str
+    piggyback: Tuple[Effect, ...] = ()
+
+
+@dataclasses.dataclass
+class IsisWriteLockReply(Message):
+    op_id: int
+    granted: bool
+    replica: int
+
+
+@dataclasses.dataclass
+class IsisBackgroundEffects(Message):
+    effects: Tuple[Effect, ...] = ()
+
+
+class IsisCohort(Actor):
+    """One Isis-style cohort of a replicated group."""
+
+    def __init__(self, node: Node, runtime, address: str, initial: Dict[str, Any],
+                 peers: List[str]):
+        super().__init__(node, address)
+        self.runtime = runtime
+        self.peers = peers  # filled by IsisSystem after construction
+        self.store: Dict[str, Any] = dict(initial)
+        self.seen_effects: Set[int] = set()
+        self.locks: Dict[str, int] = {}
+        self.replica_id = int(address.rsplit("/", 1)[1])
+        self._pending_writes: Dict[int, dict] = {}
+        self._next_effect = 0
+        runtime.network.register(self)
+
+    # -- effects ------------------------------------------------------------
+
+    def _apply_piggyback(self, effects: Tuple[Effect, ...]) -> None:
+        for effect in effects:
+            if effect.effect_id not in self.seen_effects:
+                self.seen_effects.add(effect.effect_id)
+                self.store[effect.key] = effect.value
+                # Applying a write's effect also releases the write lock the
+                # coordinating cohort took at us for that key.
+                self.locks.pop(effect.key, None)
+
+    def _mint_effect(self, key: str, value: Any) -> Effect:
+        self._next_effect += 1
+        effect = Effect(
+            effect_id=self.replica_id * 1_000_000 + self._next_effect,
+            key=key,
+            value=value,
+        )
+        self.seen_effects.add(effect.effect_id)
+        return effect
+
+    # -- messages -------------------------------------------------------------
+
+    def handle_message(self, message, source: str) -> None:
+        if isinstance(message, IsisCallReq):
+            self._apply_piggyback(message.piggyback)
+            if message.op == "read":
+                # Read lock acquired locally; effect is "a read lock has
+                # been acquired" -- we skip materializing read effects for
+                # byte fairness (they'd only make Isis look worse).
+                self._send(
+                    message.reply_to,
+                    IsisCallReply(
+                        op_id=message.op_id,
+                        result=self.store.get(message.key),
+                        piggyback=(),
+                    ),
+                )
+                return
+            # Writes: acquire write locks at all cohorts first.
+            state = {"request": message, "grants": 1, "needed": 1 + len(self.peers)}
+            self._pending_writes[message.op_id] = state
+            if not self.peers:
+                self._complete_write(message.op_id)
+                return
+            for peer in self.peers:
+                self._send(
+                    peer,
+                    IsisWriteLockReq(
+                        op_id=message.op_id,
+                        key=message.key,
+                        reply_to=self.address,
+                        piggyback=message.piggyback,
+                    ),
+                )
+        elif isinstance(message, IsisWriteLockReq):
+            self._apply_piggyback(message.piggyback)
+            holder = self.locks.get(message.key)
+            granted = holder is None or holder == message.op_id
+            if granted:
+                self.locks[message.key] = message.op_id
+            self._send(
+                message.reply_to,
+                IsisWriteLockReply(
+                    op_id=message.op_id, granted=granted, replica=self.replica_id
+                ),
+            )
+        elif isinstance(message, IsisWriteLockReply):
+            state = self._pending_writes.get(message.op_id)
+            if state is None:
+                return
+            if not message.granted:
+                # Contention: back off and retry the whole lock round.
+                request = state["request"]
+                self._pending_writes.pop(message.op_id, None)
+                self.set_timer(3.0, self.handle_message, request, request.reply_to)
+                return
+            state["grants"] += 1
+            if state["grants"] >= state["needed"]:
+                self._complete_write(message.op_id)
+        elif isinstance(message, IsisBackgroundEffects):
+            self._apply_piggyback(message.effects)
+
+    def _complete_write(self, op_id: int) -> None:
+        state = self._pending_writes.pop(op_id, None)
+        if state is None:
+            return
+        request: IsisCallReq = state["request"]
+        if request.op == "add":
+            new_value = self.store.get(request.key, 0) + request.value
+        else:
+            new_value = request.value
+        self.store[request.key] = new_value
+        effect = self._mint_effect(request.key, new_value)
+        # Background propagation (releases peer locks implicitly: simplified).
+        for peer in self.peers:
+            self._send(peer, IsisBackgroundEffects(effects=(effect,)))
+        self.locks.pop(request.key, None)
+        self._send(
+            request.reply_to,
+            IsisCallReply(op_id=request.op_id, result=new_value, piggyback=(effect,)),
+        )
+
+    def _send(self, destination: str, message) -> None:
+        self.runtime.network.send(self.address, destination, message)
+
+
+class IsisSystem:
+    """n Isis cohorts on their own nodes."""
+
+    def __init__(self, runtime, name: str, n: int, initial: Dict[str, Any]):
+        self.runtime = runtime
+        self.name = name
+        self.cohorts: List[IsisCohort] = []
+        for index in range(n):
+            node = runtime.create_node(f"{name}-n{index}")
+            self.cohorts.append(
+                IsisCohort(node, runtime, f"{name}/{index}", initial, peers=[])
+            )
+        for cohort in self.cohorts:
+            cohort.peers = [
+                other.address for other in self.cohorts if other is not cohort
+            ]
+
+    def addresses(self) -> Tuple[str, ...]:
+        return tuple(cohort.address for cohort in self.cohorts)
+
+
+class IsisClient(Actor):
+    """A client that carries its ever-growing effect set on every message."""
+
+    def __init__(self, node: Node, runtime, address: str, system: IsisSystem,
+                 op_timeout: float = 60.0):
+        super().__init__(node, address)
+        self.runtime = runtime
+        self.system = system
+        self.op_timeout = op_timeout
+        self.carried: List[Effect] = []  # never garbage collected (section 5)
+        self._next_op = 0
+        self._pending: Dict[int, dict] = {}
+        self._rng = runtime.sim.rng.fork(f"isis/{address}")
+        runtime.network.register(self)
+
+    def op(self, op: str, key: str, value: Any = None) -> Future:
+        self._next_op += 1
+        op_id = self._next_op
+        future = Future(label=f"isis-op:{op_id}")
+        target = self._rng.choice(list(self.system.addresses()))
+        request = IsisCallReq(
+            op_id=op_id,
+            op=op,
+            key=key,
+            value=value,
+            reply_to=self.address,
+            piggyback=tuple(self.carried),
+        )
+        self._pending[op_id] = {"future": future, "request": request, "target": target}
+        self.runtime.network.send(self.address, target, request)
+        self._pending[op_id]["timer"] = self.set_timer(
+            self.op_timeout, self._on_timeout, op_id
+        )
+        return future
+
+    def read(self, key: str) -> Future:
+        return self.op("read", key)
+
+    def write(self, key: str, value: Any) -> Future:
+        return self.op("write", key, value)
+
+    def add(self, key: str, delta: Any) -> Future:
+        return self.op("add", key, delta)
+
+    def _on_timeout(self, op_id: int) -> None:
+        state = self._pending.pop(op_id, None)
+        if state is not None and not state["future"].done:
+            state["future"].set_exception(RuntimeError("isis op timed out"))
+
+    def handle_message(self, message, source: str) -> None:
+        if isinstance(message, IsisCallReply):
+            state = self._pending.pop(message.op_id, None)
+            if state is None:
+                return
+            if state.get("timer") is not None:
+                state["timer"].cancel()
+            self.carried.extend(message.piggyback)
+            if not state["future"].done:
+                state["future"].set_result(message.result)
+
+    @property
+    def carried_bytes(self) -> int:
+        from repro.net.messages import estimate_size
+
+        return estimate_size(tuple(self.carried))

@@ -1,0 +1,387 @@
+"""Quorum-consensus (voting) replication, after Gifford [16] (section 5).
+
+"The best known replication technique is voting.  With voting, write
+operations are usually performed at all cohorts, and reads are performed
+at only one cohort, but in general writes can be performed at a majority
+of cohorts and reads at enough cohorts that each read will intersect each
+write at at least one cohort."
+
+Operation-level implementation (the altitude of the paper's comparison):
+
+- **read(key)**: query a read quorum of ``r`` replicas; the result is the
+  value with the highest version number.
+- **write(key, value)**: two rounds at a write quorum of ``w`` replicas --
+  lock-and-read-version, then write-and-unlock with version ``max + 1``.
+  A denied lock (concurrent writer) releases and retries after backoff;
+  this is where the paper notes voting "can deadlock if messages for
+  concurrent updates arrive at the cohorts in different orders" -- our
+  try-lock variant converts the deadlock into retries, which the metrics
+  expose as extra messages.
+
+Requires ``r + w > n`` and ``w > n/2`` so quorums intersect.  An operation
+succeeds only if a full quorum responds: with write-all (w = n) a single
+crashed replica blocks all writes -- exactly the availability contrast
+experiment E6 measures against viewstamped replication.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional, Tuple
+
+from repro.net.messages import Message
+from repro.sim.future import Future
+from repro.sim.node import Actor, Node
+
+
+# -- wire messages ----------------------------------------------------------
+
+
+@dataclasses.dataclass
+class VoteReadReq(Message):
+    op_id: int
+    key: str
+    reply_to: str
+
+
+@dataclasses.dataclass
+class VoteReadReply(Message):
+    op_id: int
+    key: str
+    value: Any
+    version: int
+    replica: int
+
+
+@dataclasses.dataclass
+class VoteLockReq(Message):
+    op_id: int
+    key: str
+    reply_to: str
+
+
+@dataclasses.dataclass
+class VoteLockReply(Message):
+    op_id: int
+    key: str
+    granted: bool
+    version: int
+    replica: int
+
+
+@dataclasses.dataclass
+class VoteWriteReq(Message):
+    op_id: int
+    key: str
+    value: Any
+    version: int
+    reply_to: str
+
+
+@dataclasses.dataclass
+class VoteWriteReply(Message):
+    op_id: int
+    key: str
+    replica: int
+
+
+@dataclasses.dataclass
+class VoteUnlockReq(Message):
+    op_id: int
+    key: str
+
+
+# -- replica -----------------------------------------------------------------
+
+
+class VotingReplica(Actor):
+    """One voting replica: versioned values plus per-key write locks."""
+
+    def __init__(self, node: Node, runtime, address: str, initial: Dict[str, Any]):
+        super().__init__(node, address)
+        self.runtime = runtime
+        self.store: Dict[str, Tuple[Any, int]] = {
+            key: (value, 0) for key, value in initial.items()
+        }
+        self.locks: Dict[str, int] = {}  # key -> holding op_id
+        self.replica_id = int(address.rsplit("/", 1)[1])
+        runtime.network.register(self)
+
+    def handle_message(self, message, source: str) -> None:
+        if isinstance(message, VoteReadReq):
+            value, version = self.store.get(message.key, (None, -1))
+            self._send(
+                message.reply_to,
+                VoteReadReply(
+                    op_id=message.op_id,
+                    key=message.key,
+                    value=value,
+                    version=version,
+                    replica=self.replica_id,
+                ),
+            )
+        elif isinstance(message, VoteLockReq):
+            holder = self.locks.get(message.key)
+            granted = holder is None or holder == message.op_id
+            if granted:
+                self.locks[message.key] = message.op_id
+            _value, version = self.store.get(message.key, (None, -1))
+            self._send(
+                message.reply_to,
+                VoteLockReply(
+                    op_id=message.op_id,
+                    key=message.key,
+                    granted=granted,
+                    version=version,
+                    replica=self.replica_id,
+                ),
+            )
+        elif isinstance(message, VoteWriteReq):
+            if self.locks.get(message.key) == message.op_id:
+                current = self.store.get(message.key, (None, -1))
+                if message.version > current[1]:
+                    self.store[message.key] = (message.value, message.version)
+                del self.locks[message.key]
+                self._send(
+                    message.reply_to,
+                    VoteWriteReply(
+                        op_id=message.op_id, key=message.key, replica=self.replica_id
+                    ),
+                )
+        elif isinstance(message, VoteUnlockReq):
+            if self.locks.get(message.key) == message.op_id:
+                del self.locks[message.key]
+
+    def _send(self, destination: str, message) -> None:
+        self.runtime.network.send(self.address, destination, message)
+
+    def on_crash(self) -> None:
+        self.locks.clear()  # volatile; versions persist in memory semantics
+        # A real voting system logs versions stably; we keep the store so a
+        # recovered replica rejoins with its last state (Gifford's
+        # representatives were stable).
+
+
+@dataclasses.dataclass
+class _PendingOp:
+    kind: str  # "read" | "write-lock" | "write-commit"
+    key: str
+    future: Future
+    quorum: Tuple[str, ...]
+    needed: int
+    replies: list = dataclasses.field(default_factory=list)
+    value: Any = None
+    retries_left: int = 4
+    timer: Any = None
+
+
+class VotingSystem:
+    """Factory wiring n replicas onto their own nodes."""
+
+    def __init__(self, runtime, name: str, n: int, initial: Dict[str, Any]):
+        self.runtime = runtime
+        self.name = name
+        self.n = n
+        self.replicas = []
+        for index in range(n):
+            node = runtime.create_node(f"{name}-n{index}")
+            self.replicas.append(
+                VotingReplica(node, runtime, f"{name}/{index}", initial)
+            )
+
+    def addresses(self) -> Tuple[str, ...]:
+        return tuple(replica.address for replica in self.replicas)
+
+    def read_value(self, key: str):
+        """Oracle read of the latest committed version (test helper)."""
+        best = (None, -1)
+        for replica in self.replicas:
+            entry = replica.store.get(key, (None, -1))
+            if entry[1] > best[1]:
+                best = entry
+        return best[0]
+
+
+class VotingClient(Actor):
+    """Performs quorum reads and writes against a :class:`VotingSystem`."""
+
+    def __init__(
+        self,
+        node: Node,
+        runtime,
+        address: str,
+        system: VotingSystem,
+        read_quorum: int,
+        write_quorum: int,
+        op_timeout: float = 30.0,
+    ):
+        if read_quorum + write_quorum <= system.n:
+            raise ValueError("quorums must intersect: r + w > n")
+        if 2 * write_quorum <= system.n:
+            raise ValueError("write quorums must intersect: w > n/2")
+        super().__init__(node, address)
+        self.runtime = runtime
+        self.system = system
+        self.read_quorum = read_quorum
+        self.write_quorum = write_quorum
+        self.op_timeout = op_timeout
+        self._ops: Dict[int, _PendingOp] = {}
+        self._next_op = 0
+        self._rng = runtime.sim.rng.fork(f"voting/{address}")
+        runtime.network.register(self)
+
+    # -- API ----------------------------------------------------------------
+
+    def read(self, key: str) -> Future:
+        """Read from a read quorum; resolves to the freshest value."""
+        op_id, future = self._new_op()
+        quorum = self._pick_quorum(self.read_quorum)
+        self._ops[op_id] = _PendingOp(
+            kind="read", key=key, future=future, quorum=quorum, needed=len(quorum)
+        )
+        for address in quorum:
+            self._send(address, VoteReadReq(op_id=op_id, key=key, reply_to=self.address))
+        self._arm(op_id)
+        return future
+
+    def write(self, key: str, value: Any) -> Future:
+        """Write at a write quorum; resolves to the new version number."""
+        op_id, future = self._new_op()
+        self._start_write_round(op_id, key, value, future, retries_left=4)
+        return future
+
+    def _start_write_round(self, op_id, key, value, future, retries_left) -> None:
+        quorum = self._pick_quorum(self.write_quorum)
+        self._ops[op_id] = _PendingOp(
+            kind="write-lock",
+            key=key,
+            future=future,
+            quorum=quorum,
+            needed=len(quorum),
+            value=value,
+            retries_left=retries_left,
+        )
+        for address in quorum:
+            self._send(address, VoteLockReq(op_id=op_id, key=key, reply_to=self.address))
+        self._arm(op_id)
+
+    # -- replies ------------------------------------------------------------
+
+    def handle_message(self, message, source: str) -> None:
+        op = self._ops.get(getattr(message, "op_id", -1))
+        if op is None:
+            # Stray reply for a finished/abandoned op; release any lock.
+            if isinstance(message, VoteLockReply) and message.granted:
+                self._send(source, VoteUnlockReq(op_id=message.op_id, key=message.key))
+            return
+        if isinstance(message, VoteReadReply) and op.kind == "read":
+            op.replies.append(message)
+            if len(op.replies) >= op.needed:
+                best = max(op.replies, key=lambda reply: reply.version)
+                self._finish(message.op_id, best.value)
+        elif isinstance(message, VoteLockReply) and op.kind == "write-lock":
+            op.replies.append(message)
+            if not message.granted:
+                self._abandon_write(message.op_id, "lock denied")
+                return
+            if len(op.replies) >= op.needed:
+                version = max(reply.version for reply in op.replies) + 1
+                op.kind = "write-commit"
+                op.replies = []
+                for address in op.quorum:
+                    self._send(
+                        address,
+                        VoteWriteReq(
+                            op_id=message.op_id,
+                            key=op.key,
+                            value=op.value,
+                            version=version,
+                            reply_to=self.address,
+                        ),
+                    )
+                op.value = version
+        elif isinstance(message, VoteWriteReply) and op.kind == "write-commit":
+            op.replies.append(message)
+            if len(op.replies) >= op.needed:
+                self._finish(message.op_id, op.value)
+
+    # -- internals -----------------------------------------------------------
+
+    def _new_op(self) -> Tuple[int, Future]:
+        self._next_op += 1
+        return self._next_op, Future(label=f"vote-op:{self._next_op}")
+
+    def _pick_quorum(self, size: int) -> Tuple[str, ...]:
+        addresses = list(self.system.addresses())
+        self._rng.shuffle(addresses)
+        return tuple(addresses[:size])
+
+    def _send(self, destination: str, message) -> None:
+        self.runtime.network.send(self.address, destination, message)
+
+    def _arm(self, op_id: int) -> None:
+        op = self._ops.get(op_id)
+        if op is not None:
+            op.timer = self.set_timer(self.op_timeout, self._on_timeout, op_id)
+
+    def _on_timeout(self, op_id: int) -> None:
+        op = self._ops.get(op_id)
+        if op is None:
+            return
+        if op.kind == "read":
+            if op.retries_left > 0:
+                op.retries_left -= 1
+                op.quorum = self._pick_quorum(self.read_quorum)
+                op.replies = []
+                for address in op.quorum:
+                    self._send(
+                        address, VoteReadReq(op_id=op_id, key=op.key, reply_to=self.address)
+                    )
+                self._arm(op_id)
+            else:
+                self._fail(op_id, "read quorum unavailable")
+        else:
+            self._abandon_write(op_id, "write quorum unavailable")
+
+    def _abandon_write(self, op_id: int, reason: str) -> None:
+        op = self._ops.pop(op_id, None)
+        if op is None:
+            return
+        if op.timer is not None:
+            op.timer.cancel()
+        for address in op.quorum:
+            self._send(address, VoteUnlockReq(op_id=op_id, key=op.key))
+        if op.retries_left > 0 and op.kind == "write-lock":
+            value = op.value
+            future = op.future
+            delay = self._rng.uniform(1.0, 5.0)
+            self.set_timer(
+                delay,
+                self._start_write_round,
+                op_id,
+                op.key,
+                value,
+                future,
+                op.retries_left - 1,
+            )
+        else:
+            if not op.future.done:
+                op.future.set_exception(RuntimeError(reason))
+
+    def _finish(self, op_id: int, value: Any) -> None:
+        op = self._ops.pop(op_id, None)
+        if op is None:
+            return
+        if op.timer is not None:
+            op.timer.cancel()
+        if not op.future.done:
+            op.future.set_result(value)
+
+    def _fail(self, op_id: int, reason: str) -> None:
+        op = self._ops.pop(op_id, None)
+        if op is None:
+            return
+        if op.timer is not None:
+            op.timer.cancel()
+        if not op.future.done:
+            op.future.set_exception(RuntimeError(reason))

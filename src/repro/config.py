@@ -1,0 +1,89 @@
+"""Protocol tuning knobs, gathered in one place.
+
+Defaults are expressed in the same (arbitrary) time unit as the network's
+``LinkModel.base_delay`` (default 1.0); think "milliseconds on a LAN".
+The paper's engineering advice is encoded in the defaults:
+
+- section 4.1: "a manager should use a fairly long timeout while it waits to
+  hear from all cohorts ... an underling should use a fairly long timeout
+  before it becomes a manager" -- hence ``invite_timeout`` and
+  ``underling_timeout`` are generous multiples of a round trip;
+- section 3.7: "Careful engineering is needed here to provide both speedy
+  delivery and small numbers of messages" -- ``flush_interval`` trades
+  prepare-time force stalls (E2) against background message volume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.storage.stable import StableStoragePolicy
+
+
+@dataclasses.dataclass
+class ProtocolConfig:
+    """Timeouts and intervals for cohorts, clients, and failure detection."""
+
+    # -- communication buffer (section 2, 3) --
+    flush_interval: float = 5.0           # background send of buffered events
+    force_timeout: float = 60.0           # give up on a force -> view change
+
+    # -- failure detection (section 4) --
+    im_alive_interval: float = 10.0       # heartbeat period
+    suspect_multiplier: float = 3.5       # missed-heartbeat threshold, in periods
+
+    # -- view change (section 4, figure 5) --
+    invite_timeout: float = 40.0          # manager waits this long for accepts
+    underling_timeout: float = 80.0       # underling -> manager on silence
+    view_retry_delay: float = 25.0        # manager retries formation after fail
+    ordered_managers: bool = True         # section 4.1: only become manager if
+    #                                       higher-priority cohorts look dead
+    extended_formation_rule: bool = False # beyond-the-paper condition 4: form
+    #                                       when enough *backups* of the latest
+    #                                       view accepted normally that every
+    #                                       possible force quorum is covered
+    #                                       (see DESIGN.md D11); the paper's
+    #                                       rule only trusts the old primary
+
+    # -- transaction processing (section 3) --
+    call_timeout: float = 50.0            # client gives up on a remote call
+    call_probes: int = 2                  # probes before declaring no-reply
+    prepare_timeout: float = 60.0         # coordinator retry interval
+    commit_retry_interval: float = 40.0   # coordinator re-sends commits
+    lock_timeout: float = 120.0           # deadlock breaker (documented deviation)
+    query_interval: float = 80.0          # participant queries coordinator
+
+    # -- unilateral view edits (section 4.1, E12) --
+    unilateral_edits: bool = False        # primary may exclude/add backups
+    #                                       without a full view change
+
+    # -- ablations (experiment E7) --
+    viewstamp_checks: bool = True         # False emulates the virtual
+    #                                       partitions rule: any transaction
+    #                                       active across a view change must
+    #                                       abort (section 5: "Virtual
+    #                                       partitions force transactions that
+    #                                       were active across a view change
+    #                                       to abort... We use viewstamps to
+    #                                       avoid the abort")
+    force_on_call: bool = False           # section 6 ablation: force each
+    #                                       completed-call record before the
+    #                                       reply -- "there would be no aborts
+    #                                       due to view changes, but calls
+    #                                       would be processed more slowly"
+
+    # -- stable storage (section 4.2) --
+    stable_write_latency: float = 5.0
+    storage_policy: StableStoragePolicy = StableStoragePolicy.MINIMAL
+    force_to_stable: bool = False         # every force also blocks on a
+    #                                       stable-storage write.  With a
+    #                                       1-cohort group this *is* the
+    #                                       conventional unreplicated system
+    #                                       of section 3.7 (event records <->
+    #                                       stable-storage records); with
+    #                                       replicas it is the section 4.2
+    #                                       catastrophe hardening.
+
+    def suspect_timeout(self) -> float:
+        """Silence longer than this marks a cohort unreachable."""
+        return self.im_alive_interval * self.suspect_multiplier

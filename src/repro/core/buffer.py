@@ -1,0 +1,258 @@
+"""The communication buffer (paper sections 2 and 3).
+
+"Instead of checkpointing events directly to the backups, the primary
+maintains a communication buffer (similar to a fifo queue) to which it
+writes event records...  Information in the buffer is sent to the backups
+in timestamp order.  The buffer implementation provides reliable delivery
+of event records to all backups in the primary's view; if it fails to
+deliver a message, then a crash or communication failure has occurred that
+will cause a view change."
+
+Two operations, exactly as specified:
+
+- :meth:`CommunicationBuffer.add` -- "atomically assigns the event a
+  timestamp (advancing the timestamp and updating the history in the
+  process) and adds the event record to the buffer; it returns the event's
+  viewstamp."
+- :meth:`CommunicationBuffer.force_to` -- "takes a viewstamp v as an
+  argument.  If the viewstamp is not for the current view it returns
+  immediately; otherwise it waits until a sub-majority of backups know
+  about all events in the current view with timestamps less than or equal
+  to v.ts."
+
+Reliable in-order delivery over the lossy datagram network is implemented
+with cumulative acks: each flush re-sends every record above the backup's
+last ack, and backups apply records contiguously.  Delivery failure is
+surfaced as a force timeout, which abandons the force and triggers a view
+change, matching the paper's footnote 1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.events import EventRecord
+from repro.core.messages import BufferAckMsg, BufferMsg
+from repro.core.view import sub_majority
+from repro.core.viewstamp import ViewId, Viewstamp
+from repro.sim.errors import SimulationError
+from repro.sim.future import Future
+
+
+class ForceAbandoned(SimulationError):
+    """A force_to could not complete; the cohort is switching to a view
+    change (paper footnote 1)."""
+
+
+class _PendingForce:
+    __slots__ = ("ts", "future", "deadline")
+
+    def __init__(self, ts: int, future: Future, deadline) -> None:
+        self.ts = ts
+        self.future = future
+        self.deadline = deadline
+
+
+class CommunicationBuffer:
+    """Primary-side event buffer for one view.
+
+    The owning cohort supplies callbacks instead of being imported, keeping
+    this module protocol-pure and unit-testable in isolation.
+
+    Parameters
+    ----------
+    send:
+        ``send(mid, message)`` -- transmit to a group peer.
+    on_force_failure:
+        Invoked once when a force times out; the cohort starts a view change.
+    configuration_size:
+        Group size; the force threshold is a *sub-majority of the
+        configuration* (section 3), not of the current view.
+    """
+
+    def __init__(
+        self,
+        viewid: ViewId,
+        backups: Tuple[int, ...],
+        configuration_size: int,
+        send: Callable[[int, object], None],
+        set_timer: Callable,
+        on_force_failure: Callable[[], None],
+        force_timeout: float,
+        max_batch: int = 64,
+        retain_all: bool = False,
+    ):
+        self.viewid = viewid
+        self.backups = tuple(backups)
+        self.configuration_size = configuration_size
+        self._send = send
+        self._set_timer = set_timer
+        self._on_force_failure = on_force_failure
+        self._force_timeout = force_timeout
+        self._max_batch = max_batch
+        self._retain_all = retain_all  # keep the whole view's records so an
+        #                                unilaterally re-added backup can be
+        #                                caught up from where it left off
+
+        self.timestamp = 0  # Figure 1's "timestamp: int % the timestamp generator"
+        self._records: List[Tuple[int, EventRecord]] = []
+        self._base_ts = 0  # ts of the first retained record minus one
+        self.acked: Dict[int, int] = {mid: 0 for mid in self.backups}
+        self._pending_forces: List[_PendingForce] = []
+        self.closed = False
+
+    # -- membership (unilateral view edits, section 4.1) --------------------
+
+    def set_backups(self, backups: Tuple[int, ...]) -> None:
+        self.backups = tuple(backups)
+        for mid in self.backups:
+            self.acked.setdefault(mid, 0)
+        for mid in list(self.acked):
+            if mid not in self.backups:
+                del self.acked[mid]
+        self._check_forces()
+
+    # -- the two operations -----------------------------------------------
+
+    def add(self, record: EventRecord) -> Viewstamp:
+        """Append an event; returns its viewstamp.  Caller advances history."""
+        if self.closed:
+            raise SimulationError("buffer closed (view change in progress)")
+        self.timestamp += 1
+        self._records.append((self.timestamp, record))
+        return Viewstamp(self.viewid, self.timestamp)
+
+    def force_to(self, viewstamp: Optional[Viewstamp]) -> Future:
+        """Wait until a sub-majority of backups cover *viewstamp*.
+
+        Returns an already-resolved future when the viewstamp is from an
+        earlier view ("if the viewstamp is not for the current view it
+        returns immediately"), when it is None (nothing to force), or when
+        the threshold is already met.
+        """
+        future = Future(label=f"force:{viewstamp}")
+        if self.closed:
+            future.set_exception(ForceAbandoned("buffer closed"))
+            return future
+        if viewstamp is None or viewstamp.id != self.viewid:
+            future.set_result(None)
+            return future
+        if viewstamp.ts > self.timestamp:
+            raise SimulationError(
+                f"force_to({viewstamp}) beyond generated timestamps "
+                f"({self.timestamp})"
+            )
+        if self._sub_majority_ts() >= viewstamp.ts:
+            future.set_result(None)
+            return future
+        deadline = self._set_timer(self._force_timeout, self._force_timed_out)
+        self._pending_forces.append(
+            _PendingForce(viewstamp.ts, future, deadline)
+        )
+        self.flush()  # speedy delivery: don't wait for the background timer
+        return future
+
+    # -- transmission ------------------------------------------------------
+
+    def flush(self) -> None:
+        """Send every backup the records above its cumulative ack."""
+        if self.closed:
+            return
+        for mid in self.backups:
+            self._flush_one(mid)
+
+    def _flush_one(self, mid: int) -> None:
+        acked = self.acked.get(mid, 0)
+        start = max(acked, self._base_ts)
+        records = tuple(
+            (ts, record) for ts, record in self._records if ts > start
+        )[: self._max_batch]
+        if not records and acked >= self.timestamp:
+            return
+        self._send(
+            mid,
+            BufferMsg(viewid=self.viewid, records=records, primary_ts=self.timestamp),
+        )
+
+    def on_ack(self, ack: BufferAckMsg) -> None:
+        """Process a cumulative ack from a backup."""
+        if self.closed or ack.viewid != self.viewid:
+            return
+        if ack.mid not in self.acked:
+            return  # excluded backup (unilateral edit) or stray
+        if ack.acked_ts > self.acked[ack.mid]:
+            self.acked[ack.mid] = ack.acked_ts
+            self._check_forces()
+            self._trim()
+
+    # -- internals -----------------------------------------------------------
+
+    def _sub_majority_ts(self) -> int:
+        """Highest ts known to at least a sub-majority of backups."""
+        needed = sub_majority(self.configuration_size)
+        if needed <= 0:
+            return self.timestamp  # single-cohort group: primary alone suffices
+        acks = sorted((self.acked.get(mid, 0) for mid in self.backups), reverse=True)
+        if len(acks) < needed:
+            return 0
+        return acks[needed - 1]
+
+    def _check_forces(self) -> None:
+        if not self._pending_forces:
+            return
+        reached = self._sub_majority_ts()
+        still_pending = []
+        for force in self._pending_forces:
+            if force.ts <= reached:
+                force.deadline.cancel()
+                force.future.set_result(None)
+            else:
+                still_pending.append(force)
+        self._pending_forces = still_pending
+
+    def _force_timed_out(self) -> None:
+        if self.closed:
+            return
+        self._fail_forces("force timed out; communication with backups lost")
+        self._on_force_failure()
+
+    def _fail_forces(self, reason: str) -> None:
+        pending, self._pending_forces = self._pending_forces, []
+        for force in pending:
+            force.deadline.cancel()
+            if not force.future.done:
+                force.future.set_exception(ForceAbandoned(reason))
+
+    def _trim(self) -> None:
+        """Drop records every current backup has acknowledged.
+
+        The newview record is always retained (``_base_ts`` never passes
+        ts=1 until all backups ack it), so late-added backups can still be
+        brought up from the start of the view.
+        """
+        if self._retain_all or not self.acked:
+            return
+        min_ack = min(self.acked.values())
+        if min_ack <= self._base_ts:
+            return
+        self._records = [(ts, r) for ts, r in self._records if ts > min_ack]
+        self._base_ts = min_ack
+
+    def close(self) -> None:
+        """Abandon the buffer at the start of a view change."""
+        if self.closed:
+            return
+        self.closed = True
+        self._fail_forces("view change started")
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def unforced_count(self) -> int:
+        return self.timestamp - self._sub_majority_ts()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CommunicationBuffer({self.viewid}, ts={self.timestamp}, "
+            f"acked={self.acked}, pending_forces={len(self._pending_forces)})"
+        )

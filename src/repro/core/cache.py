@@ -1,0 +1,57 @@
+"""The client's local cache of (viewid, view, primary) per server group.
+
+Section 3.1: "To make a remote call, the system looks up the primary and
+viewid for the group in its cache, initializing the cache if necessary...
+If the reply indicates that the view has changed, update the cache, if
+possible."  The cache only ever moves forward: stale information (an older
+viewid) never overwrites newer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.core.view import View
+from repro.core.viewstamp import ViewId
+
+
+@dataclasses.dataclass
+class CacheEntry:
+    viewid: ViewId
+    view: View
+    primary_address: str
+
+
+class ClientCache:
+    """Per-module cache mapping groupid -> current (viewid, view, primary)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, CacheEntry] = {}
+
+    def get(self, groupid: str) -> Optional[CacheEntry]:
+        return self._entries.get(groupid)
+
+    def update(
+        self,
+        groupid: str,
+        viewid: Optional[ViewId],
+        view: Optional[View],
+        primary_address: Optional[str],
+    ) -> bool:
+        """Install newer view information; returns True if the cache moved."""
+        if viewid is None or view is None or primary_address is None:
+            return False
+        current = self._entries.get(groupid)
+        if current is not None and current.viewid >= viewid:
+            return False
+        self._entries[groupid] = CacheEntry(
+            viewid=viewid, view=view, primary_address=primary_address
+        )
+        return True
+
+    def invalidate(self, groupid: str) -> None:
+        self._entries.pop(groupid, None)
+
+    def __contains__(self, groupid: str) -> bool:
+        return groupid in self._entries

@@ -1,0 +1,283 @@
+"""Remote-call machinery shared by client primaries and nested server calls.
+
+Implements Figure 2's "making a remote call" loop:
+
+1. look up the server in the cache, updating the cache if necessary (by
+   probing configuration members obtained from the location server);
+2. send the call message (viewid from the cache + unique call id);
+3. reply -> merge psets; no reply after probes -> the transaction must
+   abort; view-changed rejection -> update the cache and retry.
+
+Probes re-send the *same* call id to the *same* primary; the server's
+duplicate-suppression table makes that idempotent, so lost replies are
+recovered without double execution.  After a view change, the retry goes to
+the new primary with the same call id -- if the call already ran in the old
+view, the new primary detects the id among its surviving completed-call
+records and fails the call, which aborts the transaction (the paper's
+"to resolve this uncertainty, we abort the transaction").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.messages import (
+    CallFailedMsg,
+    CallMsg,
+    ReplyMsg,
+    ViewChangedMsg,
+    ViewProbeMsg,
+    ViewProbeReplyMsg,
+)
+from repro.core.viewstamp import ViewId
+from repro.sim.errors import SimulationError
+from repro.sim.future import Future
+from repro.txn.ids import Aid, CallId
+
+
+class CallAborted(SimulationError):
+    """The remote call failed in a way that requires aborting the
+    transaction (or just the enclosing subaction, under nesting)."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+_MAX_VIEW_SWITCHES = 5
+
+
+@dataclasses.dataclass
+class _OutstandingCall:
+    call_id: CallId
+    aid: Aid
+    groupid: str
+    proc: str
+    args: Tuple
+    future: Future
+    attempts_left: int
+    view_switches_left: int
+    timer: Any = None
+    target: Optional[str] = None
+    viewid: Optional[ViewId] = None
+    probing: bool = False
+    probe_attempts_left: int = 3
+    piggyback: Any = None
+    aborted_subactions: Tuple = ()
+    started_at: float = 0.0
+
+
+class RemoteCaller:
+    """Issues calls on behalf of one host actor (a cohort or client agent).
+
+    The host provides: ``address``, ``cache`` (ClientCache), ``config``
+    (ProtocolConfig), ``set_timer(delay, fn)``, ``send(dst, msg)``, and
+    ``locate(groupid) -> [(mid, address), ...]``.
+    """
+
+    def __init__(self, host):
+        self.host = host
+        self._outstanding: Dict[CallId, _OutstandingCall] = {}
+
+    # -- API ----------------------------------------------------------------
+
+    def call(
+        self,
+        aid: Aid,
+        groupid: str,
+        proc: str,
+        args: Tuple,
+        call_id: CallId,
+        piggyback: Any = None,
+        aborted_subactions: Tuple[int, ...] = (),
+    ) -> Future:
+        """Start a remote call; the future resolves to (result, pset_pairs)."""
+        future = Future(label=f"call:{call_id}")
+        state = _OutstandingCall(
+            call_id=call_id,
+            aid=aid,
+            groupid=groupid,
+            proc=proc,
+            args=args,
+            future=future,
+            attempts_left=self.host.config.call_probes,
+            view_switches_left=_MAX_VIEW_SWITCHES,
+            piggyback=piggyback,
+            aborted_subactions=tuple(aborted_subactions),
+            started_at=self.host.sim.now,
+        )
+        self._outstanding[call_id] = state
+        self._dispatch(state)
+        return future
+
+    def abandon_all(self, reason: str = "view change at caller") -> None:
+        """Fail every outstanding call (host left the active state)."""
+        outstanding, self._outstanding = self._outstanding, {}
+        for state in outstanding.values():
+            if state.timer is not None:
+                state.timer.cancel()
+            if not state.future.done:
+                state.future.set_exception(CallAborted(reason))
+
+    # -- sending ------------------------------------------------------------
+
+    def _dispatch(self, state: _OutstandingCall) -> None:
+        entry = self.host.cache.get(state.groupid)
+        if entry is None:
+            self._probe(state)
+            return
+        state.probing = False
+        state.target = entry.primary_address
+        state.viewid = entry.viewid
+        self._transmit(state)
+
+    def _transmit(self, state: _OutstandingCall) -> None:
+        self.host.send(
+            state.target,
+            CallMsg(
+                viewid=state.viewid,
+                call_id=state.call_id,
+                aid=state.aid,
+                proc=state.proc,
+                args=state.args,
+                reply_to=self.host.address,
+                piggyback=state.piggyback,
+                aborted_subactions=state.aborted_subactions,
+            ),
+        )
+        state.attempts_left -= 1
+        state.timer = self.host.set_timer(
+            self.host.config.call_timeout, self._on_timeout, state.call_id
+        )
+
+    def _probe(self, state: _OutstandingCall) -> None:
+        """Discover the group's current primary by asking its cohorts."""
+        if state.probe_attempts_left <= 0:
+            self._fail(state, "cannot discover a view for " + state.groupid)
+            return
+        state.probing = True
+        state.probe_attempts_left -= 1
+        try:
+            members = self.host.locate(state.groupid)
+        except KeyError:
+            members = ()
+        if not members:
+            self._fail(state, f"unknown group {state.groupid}")
+            return
+        for _mid, address in members:
+            self.host.send(address, ViewProbeMsg(reply_to=self.host.address))
+        state.timer = self.host.set_timer(
+            self.host.config.call_timeout, self._on_probe_timeout, state.call_id
+        )
+
+    # -- message handling (wired from the host's dispatch) -------------------
+
+    def on_reply(self, msg: ReplyMsg) -> None:
+        state = self._outstanding.pop(msg.call_id, None)
+        if state is None:
+            return  # late reply for a call we gave up on
+        if state.timer is not None:
+            state.timer.cancel()
+        metrics = getattr(self.host, "metrics", None)
+        if metrics is not None:
+            metrics.observe("call_latency", self.host.sim.now - state.started_at)
+            metrics.observe(
+                f"call_latency:{state.groupid}", self.host.sim.now - state.started_at
+            )
+        state.future.set_result((msg.result, msg.pset_pairs, msg.piggyback))
+
+    def on_call_failed(self, msg: CallFailedMsg) -> None:
+        state = self._outstanding.pop(msg.call_id, None)
+        if state is None:
+            return
+        if state.timer is not None:
+            state.timer.cancel()
+        state.future.set_exception(CallAborted(msg.reason))
+
+    def on_view_changed(self, msg: ViewChangedMsg) -> None:
+        """Rejection carrying (possibly) newer view information."""
+        if msg.call_id is None:
+            return
+        state = self._outstanding.get(msg.call_id)
+        if state is None:
+            return
+        moved = False
+        if msg.viewid is not None and msg.view is not None:
+            moved = self._update_cache(state.groupid, msg.viewid, msg.view)
+        if state.timer is not None:
+            state.timer.cancel()
+        if state.view_switches_left <= 0:
+            self._fail_pop(state, "too many view changes at " + state.groupid)
+            return
+        state.view_switches_left -= 1
+        state.attempts_left = self.host.config.call_probes
+        if moved or self.host.cache.get(state.groupid) is not None:
+            self._dispatch(state)
+        else:
+            self.host.cache.invalidate(state.groupid)
+            self._probe(state)
+
+    def on_probe_reply(self, msg: ViewProbeReplyMsg) -> None:
+        if msg.active and msg.viewid is not None and msg.view is not None:
+            self._update_cache(msg.groupid, msg.viewid, msg.view)
+        for state in list(self._outstanding.values()):
+            if state.probing and state.groupid == msg.groupid:
+                entry = self.host.cache.get(state.groupid)
+                if entry is not None:
+                    if state.timer is not None:
+                        state.timer.cancel()
+                    self._dispatch(state)
+
+    # -- timeouts ------------------------------------------------------------
+
+    def _on_timeout(self, call_id: CallId) -> None:
+        state = self._outstanding.get(call_id)
+        if state is None:
+            return
+        if state.attempts_left > 0:
+            # Probe: re-send the same call id to the same primary; the
+            # server's duplicate table makes this safe.
+            self._transmit(state)
+        else:
+            # "The transaction must abort...  we also attempt to update the
+            # cache, so that the next use of the server will not cause an
+            # abort."  (Figure 2, step 3.)
+            self.host.cache.invalidate(state.groupid)
+            try:
+                members = self.host.locate(state.groupid)
+            except KeyError:
+                members = ()
+            for _mid, address in members:
+                self.host.send(address, ViewProbeMsg(reply_to=self.host.address))
+            self._fail_pop(state, f"no reply from {state.groupid}")
+
+    def _on_probe_timeout(self, call_id: CallId) -> None:
+        state = self._outstanding.get(call_id)
+        if state is None or not state.probing:
+            return
+        entry = self.host.cache.get(state.groupid)
+        if entry is not None:
+            self._dispatch(state)
+        else:
+            self._probe(state)
+
+    # -- helpers --------------------------------------------------------------
+
+    def _update_cache(self, groupid: str, viewid: ViewId, view) -> bool:
+        primary_address = None
+        for mid, address in self.host.locate(groupid):
+            if mid == view.primary:
+                primary_address = address
+                break
+        return self.host.cache.update(groupid, viewid, view, primary_address)
+
+    def _fail(self, state: _OutstandingCall, reason: str) -> None:
+        if state.timer is not None:
+            state.timer.cancel()
+        if not state.future.done:
+            state.future.set_exception(CallAborted(reason))
+        self._outstanding.pop(state.call_id, None)
+
+    def _fail_pop(self, state: _OutstandingCall, reason: str) -> None:
+        self._fail(state, reason)

@@ -1,0 +1,775 @@
+"""The cohort: one replica of a module group (paper Figures 1, 4).
+
+A cohort carries exactly the paper's state:
+
+    status        active | view_manager | underling
+    gstate        the group's objects (plus the section-3.3 "compromise"
+                  representation: pending completed-call/committing records
+                  and the transaction-outcome table)
+    up_to_date    whether gstate is meaningful (false after a crash)
+    configuration the group's cohorts (stable storage)
+    mymid / mygroupid                  (stable storage)
+    cur_viewid / cur_view / history / max_viewid
+    timestamp     the timestamp generator (lives in the buffer)
+    buffer        the communication buffer (primary role only)
+
+Role behaviour is delegated: :class:`~repro.core.server_role.ServerRole`
+(Figure 3), :class:`~repro.core.client_role.ClientRole` (Figure 2), and
+:class:`~repro.core.view_change.ViewChangeController` (Figure 5).  This
+module owns message dispatch, backup event-record application, query
+answering (section 3.4), liveness ("I'm alive") and unilateral view edits
+(section 4.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Tuple
+
+from repro.config import ProtocolConfig
+from repro.core import messages as m
+from repro.core.buffer import CommunicationBuffer
+from repro.core.cache import ClientCache
+from repro.core.calls import RemoteCaller
+from repro.core.events import (
+    Aborted,
+    Committed,
+    Committing,
+    CompletedCall,
+    Done,
+    EventRecord,
+    NewView,
+    ViewEdit,
+)
+from repro.core.view import View, majority
+from repro.core.viewstamp import History, ViewId, Viewstamp
+from repro.sim.future import Future
+from repro.sim.node import Actor, Node
+from repro.storage.stable import StableStoragePolicy, StableStore
+from repro.txn.ids import Aid
+from repro.txn.locks import LockManager
+from repro.txn.objects import ObjectStore, READ, WRITE
+
+
+class Status(enum.Enum):
+    """Figure 1: ``status = oneof[active, view_manager, underling]``."""
+
+    ACTIVE = "active"
+    VIEW_MANAGER = "view_manager"
+    UNDERLING = "underling"
+
+
+class Cohort(Actor):
+    """One replica of a module group."""
+
+    def __init__(
+        self,
+        node: Node,
+        runtime,
+        groupid: str,
+        mid: int,
+        configuration: Tuple[Tuple[int, str], ...],  # (mid, address) pairs
+        spec,
+        config: ProtocolConfig,
+        initial_viewid: ViewId,
+        initial_view: View,
+    ):
+        address = dict(configuration)[mid]
+        super().__init__(node, address)
+        self.runtime = runtime
+        self.config = config
+        self.metrics = runtime.metrics
+        self.spec = spec
+
+        # -- stable state (written at creation, survives crashes) --
+        self.mygroupid = groupid
+        self.mymid = mid
+        self.configuration = tuple(configuration)
+        self.stable = StableStore(node, write_latency=config.stable_write_latency)
+        self.stable.write_immediate("mymid", mid)
+        self.stable.write_immediate("mygroupid", groupid)
+        self.stable.write_immediate("configuration", self.configuration)
+        self.stable.write_immediate("cur_viewid", initial_viewid)
+
+        # -- volatile state --
+        self.status = Status.ACTIVE
+        self.up_to_date = True
+        self.cur_viewid = initial_viewid
+        self.cur_view = initial_view
+        self.max_viewid = initial_viewid
+        self.history = History([Viewstamp(initial_viewid, 0)])
+        self.buffer: Optional[CommunicationBuffer] = None
+        self.applied_ts = 0  # backup: highest contiguously applied ts
+
+        # -- gstate --
+        self.store = ObjectStore()
+        for uid, value in spec.initial_objects().items():
+            self.store.create(uid, value)
+        self.lockmgr = LockManager(self.store)
+        self.pending: Dict[Aid, Dict[Viewstamp, CompletedCall]] = {}
+        self.outcomes: Dict[Aid, str] = {}
+        self.committing: Dict[Aid, Tuple[Tuple[str, ...], Tuple]] = {}
+
+        # -- roles (imported lazily to avoid cycles) --
+        from repro.core.client_role import ClientRole
+        from repro.core.coordinator_server import CoordinatorServerRole
+        from repro.core.server_role import ServerRole
+        from repro.core.view_change import ViewChangeController
+
+        self.cache = ClientCache()
+        self.caller = RemoteCaller(self)
+        self.server_role = ServerRole(self)
+        self.client_role = ClientRole(self)
+        self.coordinator_role = CoordinatorServerRole(self)
+        self.view_change = ViewChangeController(self)
+
+        # -- liveness --
+        self.last_heard: Dict[int, float] = {
+            peer: 0.0 for peer, _addr in configuration if peer != mid
+        }
+        self._change_pending_since: Optional[float] = None
+        self._epoch = 0  # bumped on every status transition; guards timers
+
+        runtime.network.register(self)
+        if self.is_primary:
+            self._open_buffer()
+        self._start_heartbeat()
+        if self.is_primary:
+            self._start_flush_loop()
+            self.server_role.on_become_primary()
+            self.client_role.on_become_primary()
+
+    # ------------------------------------------------------------------
+    # identity helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def is_primary(self) -> bool:
+        return self.cur_view is not None and self.cur_view.primary == self.mymid
+
+    @property
+    def is_active_primary(self) -> bool:
+        return self.status is Status.ACTIVE and self.is_primary
+
+    @property
+    def config_size(self) -> int:
+        return len(self.configuration)
+
+    def peer_address(self, mid: int) -> str:
+        for peer, address in self.configuration:
+            if peer == mid:
+                return address
+        raise KeyError(f"no cohort {mid} in {self.mygroupid}")
+
+    def send(self, destination: str, message) -> None:
+        self.runtime.network.send(self.address, destination, message)
+
+    def send_mid(self, mid: int, message) -> None:
+        self.send(self.peer_address(mid), message)
+
+    def locate(self, groupid: str):
+        """(mid, address) pairs for a group -- via the location service."""
+        return self.runtime.location.lookup(groupid)
+
+    # ------------------------------------------------------------------
+    # message dispatch
+    # ------------------------------------------------------------------
+
+    def handle_message(self, message, source: str) -> None:
+        # Messages every status handles (section 3.4: queries "can be
+        # answered by any cohort that knows the answer"; probes likewise).
+        if isinstance(message, m.QueryMsg):
+            self._handle_query(message)
+            return
+        if isinstance(message, m.ViewProbeMsg):
+            self._handle_view_probe(message)
+            return
+        if isinstance(message, m.ImAliveMsg):
+            self._handle_im_alive(message)
+            return
+        if isinstance(message, m.InviteMsg):
+            self.view_change.on_invite(message)
+            return
+        if isinstance(message, m.AcceptMsg):
+            self.view_change.on_accept(message)
+            return
+        if isinstance(message, m.InitViewMsg):
+            self.view_change.on_init_view(message)
+            return
+        if isinstance(message, m.BufferMsg):
+            self._handle_buffer_msg(message)
+            return
+        if isinstance(message, m.BufferAckMsg):
+            if self.is_active_primary and self.buffer is not None:
+                self.buffer.on_ack(message)
+            return
+
+        # Replies to calls we originated are consumed in any active state.
+        if isinstance(message, m.ReplyMsg):
+            self.caller.on_reply(message)
+            return
+        if isinstance(message, m.CallFailedMsg):
+            self.caller.on_call_failed(message)
+            return
+        if isinstance(message, m.ViewChangedMsg):
+            self.caller.on_view_changed(message)
+            self.client_role.on_view_changed(message)
+            return
+        if isinstance(message, m.ViewProbeReplyMsg):
+            self.caller.on_probe_reply(message)
+            return
+        if isinstance(message, m.QueryReplyMsg):
+            self.server_role.on_query_reply(message)
+            return
+
+        # Everything else requires being the active primary (section 3.3:
+        # "cohorts that are not active primaries reject messages sent to
+        # them by other module groups").
+        if not self.is_active_primary:
+            self._reject(message, source)
+            return
+
+        if isinstance(message, m.CallMsg):
+            self.server_role.on_call(message)
+        elif isinstance(message, m.PrepareMsg):
+            self.server_role.on_prepare(message)
+        elif isinstance(message, m.CommitMsg):
+            self.server_role.on_commit(message)
+        elif isinstance(message, m.AbortMsg):
+            self.server_role.on_abort(message)
+        elif isinstance(message, m.SubactionAbortMsg):
+            self.server_role.on_subaction_abort(message)
+        elif isinstance(message, m.PrepareOkMsg):
+            self.client_role.on_prepare_ok(message)
+        elif isinstance(message, m.PrepareRefusedMsg):
+            self.client_role.on_prepare_refused(message)
+        elif isinstance(message, m.CommitAckMsg):
+            self.client_role.on_commit_ack(message)
+        elif isinstance(message, m.TxnRequestMsg):
+            self.client_role.on_txn_request(message)
+        elif isinstance(message, m.BeginTxnMsg):
+            self.coordinator_role.on_begin(message)
+        elif isinstance(message, m.FinishTxnMsg):
+            self.coordinator_role.on_finish(message)
+        elif isinstance(message, m.ClientProbeReplyMsg):
+            self.coordinator_role.on_probe_reply(message)
+        else:  # pragma: no cover - new message types must be wired here
+            raise NotImplementedError(f"unhandled message {message!r}")
+
+    def _reject(self, message, source: str) -> None:
+        """Reject with current view info if we know it (section 3.3)."""
+        call_id = getattr(message, "call_id", None)
+        aid = getattr(message, "aid", None)
+        reply_to = getattr(message, "reply_to", None) or getattr(
+            message, "coordinator", None
+        ) or source
+        if isinstance(
+            message,
+            (m.CallMsg, m.PrepareMsg, m.CommitMsg, m.TxnRequestMsg),
+        ):
+            viewid, view = (None, None)
+            if self.status is Status.ACTIVE:
+                viewid, view = self.cur_viewid, self.cur_view
+            self.send(
+                reply_to,
+                m.ViewChangedMsg(
+                    call_id=call_id,
+                    viewid=viewid,
+                    view=view,
+                    aid=aid,
+                    groupid=self.mygroupid,
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # event records: primary-side add, backup-side apply
+    # ------------------------------------------------------------------
+
+    def add_record(self, record: EventRecord) -> Viewstamp:
+        """Primary: buffer.add + history advance + local bookkeeping."""
+        assert self.is_active_primary and self.buffer is not None
+        viewstamp = self.buffer.add(record)
+        self.history.advance(viewstamp.id, viewstamp.ts)
+        self._record_bookkeeping(viewstamp, record, at_backup=False)
+        if self.config.storage_policy is not StableStoragePolicy.MINIMAL:
+            # Section 4.2's hardening: "we might supply each cohort with a
+            # universal power supply and have them write information to
+            # nonvolatile storage in the background" -- UPS-backed NVRAM,
+            # modelled as an immediate durable write off the critical path.
+            self.stable.write_immediate("gstate", self._gstate_snapshot())
+        return viewstamp
+
+    def force_to(self, viewstamp: Optional[Viewstamp]) -> Future:
+        assert self.is_active_primary and self.buffer is not None
+        replica_force = self.buffer.force_to(viewstamp)
+        if not self.config.force_to_stable:
+            return replica_force
+        # Conventional-system mode (section 3.7) / catastrophe hardening
+        # (section 4.2): the force also blocks on a stable-storage write.
+        stable_force = self.stable.write("log", self.history.entries())
+        combined = Future(label=f"force+stable:{viewstamp}")
+        pending = {"count": 2}
+
+        def one_done(future: Future) -> None:
+            if combined.done:
+                return
+            error = future.exception()
+            if error is not None:
+                combined.set_exception(error)
+                return
+            pending["count"] -= 1
+            if pending["count"] == 0:
+                combined.set_result(None)
+
+        replica_force.add_done_callback(one_done)
+        stable_force.add_done_callback(one_done)
+        return combined
+
+    def force_all(self) -> Future:
+        """Force the entire buffer (Figure 2's coordinator step 2)."""
+        assert self.buffer is not None
+        return self.force_to(Viewstamp(self.cur_viewid, self.buffer.timestamp))
+
+    def _record_bookkeeping(
+        self, viewstamp: Viewstamp, record: EventRecord, at_backup: bool
+    ) -> None:
+        """State updates shared by primary add and backup apply."""
+        if isinstance(record, CompletedCall):
+            self.pending.setdefault(record.aid, {})[viewstamp] = record
+        elif isinstance(record, Committing):
+            self.committing[record.aid] = (record.plist, record.pset_pairs)
+        elif isinstance(record, Committed):
+            self.outcomes[record.aid] = "committed"
+            if at_backup:
+                self._backup_install(record)
+            self.pending.pop(record.aid, None)
+        elif isinstance(record, Aborted):
+            self.outcomes[record.aid] = "aborted"
+            self.pending.pop(record.aid, None)
+            self.committing.pop(record.aid, None)
+        elif isinstance(record, Done):
+            self.committing.pop(record.aid, None)
+        elif isinstance(record, ViewEdit):
+            self.cur_view = View(primary=self.cur_view.primary, backups=record.backups)
+        elif isinstance(record, NewView):
+            # At the primary the record *is* a snapshot of current state, so
+            # adding it is a no-op here; at a backup the view-change
+            # controller installs it before ordinary application begins, and
+            # retransmissions are filtered by applied_ts.
+            if at_backup:
+                raise AssertionError("newview records are installed, not applied")
+
+    def _backup_install(self, record: Committed) -> None:
+        """Apply a commit at a backup: install tentative versions from the
+        stored completed-call records (section 3.3's compromise: records are
+        stored until the commit/abort arrives, then performed)."""
+        calls = self.pending.get(record.aid, {})
+        allowed = {
+            pair.vs for pair in record.pset_pairs if pair.groupid == self.mygroupid
+        }
+        final_values = {}
+        for viewstamp in sorted(calls):
+            if allowed and viewstamp not in allowed:
+                continue  # orphaned subaction (section 3.6); skip its writes
+            for effect in calls[viewstamp].effects:
+                if effect.kind != WRITE or not effect.writes:
+                    continue
+                final_values[effect.uid] = effect.writes[-1][1]
+        # One version bump per object per transaction, matching the
+        # primary's install (LockManager.install).
+        for uid, value in final_values.items():
+            obj = self.store.ensure(uid)
+            obj.base = value
+            obj.version += 1
+
+    # ------------------------------------------------------------------
+    # backup: buffer application
+    # ------------------------------------------------------------------
+
+    def _handle_buffer_msg(self, msg: m.BufferMsg) -> None:
+        if self.status is Status.UNDERLING:
+            self.view_change.on_buffer_while_underling(msg)
+            return
+        if self.status is not Status.ACTIVE:
+            return
+        if msg.viewid != self.cur_viewid or self.is_primary:
+            return  # stale primary's traffic, or ours echoed back
+        self._apply_buffer_records(msg.records)
+        self._ack_buffer()
+
+    def _apply_buffer_records(self, records) -> None:
+        for ts, record in records:
+            if ts != self.applied_ts + 1:
+                if ts <= self.applied_ts:
+                    continue  # retransmission of something we have
+                break  # gap; cumulative ack will trigger a resend
+            self.applied_ts = ts
+            viewstamp = Viewstamp(self.cur_viewid, ts)
+            self.history.advance(self.cur_viewid, ts)
+            self._record_bookkeeping(viewstamp, record, at_backup=True)
+            if self.config.storage_policy is StableStoragePolicy.ALL:
+                self.stable.write_immediate("gstate", self._gstate_snapshot())
+
+    def _ack_buffer(self) -> None:
+        self.send_mid(
+            self.cur_view.primary,
+            m.BufferAckMsg(
+                viewid=self.cur_viewid, acked_ts=self.applied_ts, mid=self.mymid
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # queries (section 3.4)
+    # ------------------------------------------------------------------
+
+    def _handle_query(self, msg: m.QueryMsg) -> None:
+        outcome, pset_pairs = self.query_outcome(msg.aid)
+        if outcome == "unknown":
+            return  # stay silent; another cohort may know
+        if outcome == "active":
+            # Section 3.5: before letting a transaction look alive forever,
+            # the coordinator-server checks that its client still is.
+            self.coordinator_role.on_query_for_active(msg.aid)
+        self.send(
+            msg.reply_to,
+            m.QueryReplyMsg(aid=msg.aid, outcome=outcome, pset_pairs=pset_pairs),
+        )
+
+    def query_outcome(self, aid: Aid) -> Tuple[str, Tuple]:
+        """What this cohort knows about *aid* (committed/aborted/active/unknown).
+
+        Safety notes (see DESIGN.md): "committed" is answered only from the
+        outcomes table -- never from a raw committing record at a backup,
+        because that record may not yet be known to a majority.  The
+        "aborted" inference for a transaction born in an older view of our
+        own group is sound because a committing record forced in that view
+        is guaranteed to survive into our current state.
+        """
+        known = self.outcomes.get(aid)
+        if known is not None:
+            pairs: Tuple = ()
+            if known == "committed" and aid in self.committing:
+                pairs = self.committing[aid][1]
+            return known, pairs
+        if aid.groupid == self.mygroupid and self.status is Status.ACTIVE:
+            if aid in self.committing:
+                return "unknown", ()  # decision pending / being resumed
+            if not self.is_primary:
+                # Only the primary may make the inferences below: a backup
+                # cannot see an in-flight (re-)coordination of this aid at
+                # the primary, so its "aborted" inference could contradict a
+                # commit the primary is about to make.
+                return "unknown", ()
+            if self.client_role.is_running(aid) or self.coordinator_role.is_active(aid):
+                return "active", ()
+            if aid.viewid < self.cur_viewid:
+                # Born in an older view of our group with no surviving
+                # committing record: it can never commit (the force that
+                # precedes commit messages guarantees survival).
+                return "aborted", ()
+            if aid.viewid == self.cur_viewid and self.client_role.knows(aid):
+                return "aborted", ()  # ran here and is gone -> it aborted
+        return "unknown", ()
+
+    def _handle_view_probe(self, msg: m.ViewProbeMsg) -> None:
+        active = self.status is Status.ACTIVE
+        self.send(
+            msg.reply_to,
+            m.ViewProbeReplyMsg(
+                groupid=self.mygroupid,
+                viewid=self.cur_viewid if active else None,
+                view=self.cur_view if active else None,
+                active=active,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # liveness: "I'm alive" (section 4)
+    # ------------------------------------------------------------------
+
+    def _start_heartbeat(self) -> None:
+        jitter = self.runtime.sim.rng.fork(f"hb/{self.address}").uniform(0.0, 1.0)
+        self.set_timer(self.config.im_alive_interval * (0.5 + jitter), self._heartbeat)
+
+    def _heartbeat(self) -> None:
+        for peer, address in self.configuration:
+            if peer != self.mymid:
+                self.send(address, m.ImAliveMsg(mid=self.mymid, viewid=self.cur_viewid))
+        if self.status is Status.ACTIVE:
+            self._liveness_sweep()
+        self.set_timer(self.config.im_alive_interval, self._heartbeat)
+
+    def _handle_im_alive(self, msg: m.ImAliveMsg) -> None:
+        previously_silent = self._is_suspect(msg.mid)
+        self.last_heard[msg.mid] = self.sim.now
+        if (
+            self.status is Status.ACTIVE
+            and previously_silent
+            and msg.mid not in self.cur_view
+        ):
+            # Communication with an excluded cohort resumed (section 4:
+            # "...or if it notices that it is communicating with a cohort
+            # that it could not communicate with previously").  The sweep
+            # prefers a unilateral re-add when that is enabled.
+            self._liveness_sweep()
+
+    def _is_suspect(self, mid: int) -> bool:
+        return self.sim.now - self.last_heard.get(mid, 0.0) > self.config.suspect_timeout()
+
+    def _liveness_sweep(self) -> None:
+        view_suspects = [
+            peer for peer in self.cur_view.members
+            if peer != self.mymid and self._is_suspect(peer)
+        ]
+        outside_live = [
+            peer for peer, _addr in self.configuration
+            if peer not in self.cur_view and not self._is_suspect(peer)
+        ]
+        if not view_suspects and not outside_live:
+            self._change_pending_since = None
+            return
+        if self.config.unilateral_edits and self.is_primary:
+            if self._try_unilateral_edit(view_suspects, outside_live):
+                self._change_pending_since = None
+                return
+        self._on_membership_signal()
+
+    def _on_membership_signal(self) -> None:
+        """A view change appears to be needed (the figure's "change" msg)."""
+        if self.status is not Status.ACTIVE:
+            return
+        now = self.sim.now
+        if self._change_pending_since is None:
+            self._change_pending_since = now
+        if self.config.ordered_managers:
+            # Section 4.1: become a manager only if all higher-priority
+            # (lower-mid) cohorts appear inaccessible -- unless the need has
+            # persisted, in which case manage regardless (liveness fallback).
+            higher = [
+                peer for peer, _addr in self.configuration if peer < self.mymid
+            ]
+            deferred = any(not self._is_suspect(peer) for peer in higher)
+            waited = now - self._change_pending_since
+            if deferred and waited < 2.5 * self.config.im_alive_interval:
+                return
+        self._change_pending_since = None
+        self.view_change.become_manager()
+
+    def note_change_needed(self) -> None:
+        """Internal failure signal (e.g. an abandoned force)."""
+        if self.status is Status.ACTIVE:
+            self.view_change.become_manager()
+
+    # -- unilateral edits (section 4.1, experiment E12) ----------------------
+
+    def _try_unilateral_edit(self, view_suspects, outside_live) -> bool:
+        new_backups = set(self.cur_view.backups)
+        for peer in view_suspects:
+            if peer != self.cur_view.primary:
+                new_backups.discard(peer)
+        for peer in outside_live:
+            new_backups.add(peer)
+        if len(new_backups) + 1 < majority(self.config_size):
+            # Losing the majority: the primary must stop working on
+            # transactions (section 4.1) -- full view change instead.
+            return False
+        if new_backups == set(self.cur_view.backups):
+            return True  # only the primary is suspect of itself; nothing to do
+        edited = tuple(sorted(new_backups))
+        self.add_record(ViewEdit(backups=edited))
+        self.buffer.set_backups(edited)
+        self.metrics.incr("unilateral_view_edits")
+        self.buffer.flush()
+        return True
+
+    # ------------------------------------------------------------------
+    # status transitions (used by the view-change controller)
+    # ------------------------------------------------------------------
+
+    def leave_active(self) -> None:
+        """Stop transaction processing; abandon the buffer and calls."""
+        self._epoch += 1
+        if self.buffer is not None:
+            self.buffer.close()
+        self.caller.abandon_all()
+        self.server_role.on_leave_active()
+        self.client_role.on_leave_active()
+        self.coordinator_role.on_leave_active()
+
+    def _open_buffer(self) -> None:
+        self.buffer = CommunicationBuffer(
+            viewid=self.cur_viewid,
+            backups=self.cur_view.backups,
+            configuration_size=self.config_size,
+            send=self.send_mid,
+            set_timer=self.set_timer,
+            on_force_failure=self.note_change_needed,
+            force_timeout=self.config.force_timeout,
+            retain_all=self.config.unilateral_edits,
+        )
+
+    def _start_flush_loop(self) -> None:
+        epoch = self._epoch
+
+        def tick() -> None:
+            if self._epoch != epoch or not self.is_active_primary:
+                return
+            if self.buffer is not None:
+                self.buffer.flush()
+            self.set_timer(self.config.flush_interval, tick)
+
+        self.set_timer(self.config.flush_interval, tick)
+
+    def activate_as_primary(self, viewid: ViewId, view: View) -> None:
+        """Complete ``start_view`` (Figure 5) once cur_viewid is stable.
+
+        The caller (view-change controller) has already set cur_view,
+        cur_viewid, opened the history entry and persisted the viewid.
+        """
+        self._epoch += 1
+        self.status = Status.ACTIVE
+        self.up_to_date = True
+        self.applied_ts = 0
+        self._open_buffer()
+        newview = NewView(
+            view=view,
+            history_entries=self.history.entries(),
+            objects=self.store.snapshot(),
+            pending=tuple(
+                (viewstamp, record)
+                for aid in sorted(self.pending)
+                for viewstamp, record in sorted(self.pending[aid].items())
+            ),
+            outcomes=dict(self.outcomes),
+            committing=dict(self.committing),
+        )
+        self.add_record(newview)
+        self._rematerialize_locks()
+        self.server_role.on_become_primary()
+        self.client_role.on_become_primary()
+        self._start_flush_loop()
+        self.buffer.flush()
+        self.metrics.incr(f"views_started:{self.mygroupid}")
+        self.runtime.ledger.record_view_change(self.mygroupid, viewid, self.mymid)
+        self.sim.trace(
+            "view_started", group=self.mygroupid, viewid=str(viewid), primary=self.mymid
+        )
+
+    def install_newview(self, viewid: ViewId, record: NewView) -> None:
+        """Underling: initialize state from a newview record (Figure 5)."""
+        self._epoch += 1
+        self.cur_viewid = viewid
+        self.cur_view = record.view
+        self.history = History(record.history_entries)
+        self.history.advance(viewid, 1)  # the newview record itself is ts=1
+        self.applied_ts = 1
+        self.store.restore(record.objects)
+        self.lockmgr.reset()
+        self.pending = {}
+        for viewstamp, call_record in record.pending:
+            self.pending.setdefault(call_record.aid, {})[viewstamp] = call_record
+        self.outcomes = dict(record.outcomes)
+        self.committing = dict(record.committing)
+        self.up_to_date = True
+        self.status = Status.ACTIVE
+        self.buffer = None
+        self._ack_buffer()
+        self.metrics.incr(f"views_joined:{self.mygroupid}")
+
+    def _rematerialize_locks(self) -> None:
+        """New primary: rebuild lock/tentative state from pending records.
+
+        Section 3.7 requires that locks survive a view change exactly when
+        their completed-call records do.  Records reflect locks that were
+        granted under 2PL, so direct materialization cannot conflict.
+        """
+        self.lockmgr.reset()
+        for aid in self.pending:
+            for viewstamp in sorted(self.pending[aid]):
+                for effect in self.pending[aid][viewstamp].effects:
+                    obj = self.store.ensure(effect.uid)
+                    info = obj.lockers.get(aid)
+                    if info is None:
+                        from repro.txn.objects import LockInfo
+
+                        info = LockInfo(kind=effect.kind)
+                        obj.lockers[aid] = info
+                    if effect.kind == WRITE:
+                        info.kind = WRITE
+                    for subaction, value in effect.writes:
+                        from repro.txn.objects import TentativeWrite
+
+                        info.writes.append(
+                            TentativeWrite(subaction=subaction, value=value)
+                        )
+
+    def _gstate_snapshot(self) -> dict:
+        """For the PRIMARY_GSTATE/ALL stable-storage policies (section 4.2)."""
+        return {
+            "objects": self.store.snapshot(),
+            "outcomes": dict(self.outcomes),
+            "committing": dict(self.committing),
+            "history": self.history.entries(),
+            "pending": tuple(
+                (viewstamp, record)
+                for aid in sorted(self.pending)
+                for viewstamp, record in sorted(self.pending[aid].items())
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # crash / recovery (sections 1, 4)
+    # ------------------------------------------------------------------
+
+    def on_crash(self) -> None:
+        self._epoch += 1
+        self.status = Status.UNDERLING  # placeholder; node is down anyway
+        self.up_to_date = False
+        if self.buffer is not None:
+            self.buffer.close()
+            self.buffer = None
+
+    def on_recover(self) -> None:
+        """Section 4: initialize up_to_date false, max_viewid from stable
+        storage, then run a view change as manager."""
+        self._epoch += 1
+        self.up_to_date = False
+        self.cur_viewid = self.stable.read("cur_viewid")
+        self.cur_view = None
+        self.max_viewid = self.cur_viewid
+        self.history = History([Viewstamp(self.cur_viewid, 0)])
+        self.applied_ts = 0
+        self.store = ObjectStore()
+        for uid, value in self.spec.initial_objects().items():
+            self.store.create(uid, value)
+        self.lockmgr = LockManager(self.store)
+        self.pending = {}
+        self.outcomes = {}
+        self.committing = {}
+        self.cache = ClientCache()
+        self.caller = RemoteCaller(self)
+        self.server_role.reset()
+        self.client_role.reset()
+        self.coordinator_role.reset()
+        stable_gstate = None
+        if self.config.storage_policy is not StableStoragePolicy.MINIMAL:
+            stable_gstate = self.stable.read("gstate")
+        if stable_gstate is not None:
+            self.store.restore(stable_gstate["objects"])
+            self.outcomes = dict(stable_gstate["outcomes"])
+            self.committing = dict(stable_gstate["committing"])
+            self.history = History(stable_gstate["history"])
+            for viewstamp, call_record in stable_gstate.get("pending", ()):
+                self.pending.setdefault(call_record.aid, {})[viewstamp] = call_record
+            self.up_to_date = True
+        self._start_heartbeat()
+        self.view_change.reset()
+        self.set_timer(
+            self.config.im_alive_interval, self.view_change.become_manager
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cohort({self.address}, {self.status.value}, view={self.cur_viewid}, "
+            f"primary={self.is_primary})"
+        )

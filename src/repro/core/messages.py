@@ -1,0 +1,338 @@
+"""Wire messages of the viewstamped replication protocol.
+
+Message names follow the paper: call/reply (section 3.1), prepare/commit/
+abort and their replies (Figures 2-3), buffer traffic (section 2), queries
+(section 3.4), I'm-alive/invite/accept/init-view (Figure 5), and the
+coordinator-server requests of section 3.5.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.events import EventRecord
+from repro.core.view import View
+from repro.core.viewstamp import ViewId, Viewstamp
+from repro.net.messages import Message
+from repro.txn.ids import Aid, CallId
+
+# ---------------------------------------------------------------------------
+# transaction processing (sections 3.1-3.2)
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class CallMsg(Message):
+    """Remote procedure call to a server group's primary.
+
+    Carries "the viewid from the cache, a unique call id ..., and
+    information about the call itself (the procedure name and the
+    arguments)" plus the transaction's aid and where to send the reply.
+    ``piggyback`` is unused by VR itself; the Isis-style baseline rides the
+    same message shapes with effect payloads attached (experiment E9).
+    """
+
+    viewid: ViewId
+    call_id: CallId
+    aid: Aid
+    proc: str
+    args: Tuple
+    reply_to: str
+    piggyback: Any = None
+    aborted_subactions: Tuple[int, ...] = ()  # section 3.6: effects of these
+    #                                           must be dropped before the
+    #                                           call runs (a retried call may
+    #                                           otherwise read its orphaned
+    #                                           predecessor's tentative state)
+
+
+@dataclasses.dataclass
+class ReplyMsg(Message):
+    """Successful call reply: result plus the call's pset pairs."""
+
+    call_id: CallId
+    result: Any
+    pset_pairs: Tuple
+    piggyback: Any = None
+
+
+@dataclasses.dataclass
+class CallFailedMsg(Message):
+    """The call could not run (lock timeout, app error, group aborting)."""
+
+    call_id: CallId
+    reason: str
+
+
+@dataclasses.dataclass
+class ViewChangedMsg(Message):
+    """Rejection: "the response to the rejected message contains information
+    about the current viewid and primary if the cohort knows them"
+    (section 3.3)."""
+
+    call_id: Optional[CallId]
+    viewid: Optional[ViewId]
+    view: Optional[View]
+    aid: Optional[Aid] = None
+    groupid: str = ""
+
+
+@dataclasses.dataclass
+class PrepareMsg(Message):
+    """Phase one: aid + pset (Figure 2 step 1)."""
+
+    aid: Aid
+    pset_pairs: Tuple
+    coordinator: str
+    aborted_subactions: Tuple[int, ...] = ()
+
+
+@dataclasses.dataclass
+class PrepareOkMsg(Message):
+    """Participant acceptance; flags a read-only participant (Figure 3)."""
+
+    aid: Aid
+    groupid: str
+    read_only: bool
+
+
+@dataclasses.dataclass
+class PrepareRefusedMsg(Message):
+    """Participant refusal -- pset incompatible with its history."""
+
+    aid: Aid
+    groupid: str
+    reason: str
+
+
+@dataclasses.dataclass
+class CommitMsg(Message):
+    """Phase two commit.  Carries the pset so a participant primary that
+    changed since prepare can still identify which calls' effects to
+    install (see DESIGN.md on subaction filtering)."""
+
+    aid: Aid
+    pset_pairs: Tuple
+    coordinator: str
+
+
+@dataclasses.dataclass
+class CommitAckMsg(Message):
+    """Participant's "done message" after processing a commit (Figure 3)."""
+
+    aid: Aid
+    groupid: str
+
+
+@dataclasses.dataclass
+class AbortMsg(Message):
+    """Abort notification; delivery is best-effort (section 3.4)."""
+
+    aid: Aid
+
+
+@dataclasses.dataclass
+class SubactionAbortMsg(Message):
+    """Best-effort notice that a subaction aborted (section 3.6)."""
+
+    aid: Aid
+    subaction: int
+
+
+# ---------------------------------------------------------------------------
+# queries (section 3.4)
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class QueryMsg(Message):
+    """Ask any cohort that might know: what happened to *aid*?"""
+
+    aid: Aid
+    reply_to: str
+
+
+@dataclasses.dataclass
+class QueryReplyMsg(Message):
+    """Outcome: committed / aborted / active / unknown."""
+
+    aid: Aid
+    outcome: str
+    pset_pairs: Tuple = ()
+
+
+# ---------------------------------------------------------------------------
+# communication buffer (section 2)
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class BufferMsg(Message):
+    """Primary -> backup: event records in timestamp order.
+
+    ``records`` holds ``(ts, record)`` pairs starting just above the
+    backup's last cumulative ack, so retransmission is implicit.
+    """
+
+    viewid: ViewId
+    records: Tuple[Tuple[int, EventRecord], ...]
+    primary_ts: int
+
+
+@dataclasses.dataclass
+class BufferAckMsg(Message):
+    """Backup -> primary: cumulative ack of applied timestamps."""
+
+    viewid: ViewId
+    acked_ts: int
+    mid: int
+
+
+# ---------------------------------------------------------------------------
+# view changes (section 4, Figure 5)
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class ImAliveMsg(Message):
+    """Periodic liveness beacon among cohorts of one configuration."""
+
+    mid: int
+    viewid: ViewId
+
+
+@dataclasses.dataclass
+class InviteMsg(Message):
+    """View manager's invitation to join view *viewid*."""
+
+    viewid: ViewId
+    manager_mid: int
+
+
+@dataclasses.dataclass
+class AcceptMsg(Message):
+    """Acceptance of an invitation.
+
+    "Normal" acceptances carry the acceptor's current viewstamp and whether
+    it is the primary of its current view.  "Crashed" acceptances carry only
+    its (stable-storage) viewid -- its gstate was lost (Figure 5,
+    ``do_accept``).
+    """
+
+    viewid: ViewId  # the invitation being accepted
+    mid: int
+    crashed: bool
+    viewstamp: Optional[Viewstamp]  # normal only
+    was_primary: bool               # normal only
+    crash_viewid: Optional[ViewId]  # crashed only
+    view: Optional[View] = None     # normal only: the acceptor's cur_view
+    #                                 (consumed by the extended formation
+    #                                 rule; the paper's rule ignores it)
+
+
+@dataclasses.dataclass
+class InitViewMsg(Message):
+    """Manager -> chosen primary: "you start view *viewid* with *view*"."""
+
+    viewid: ViewId
+    view: View
+
+
+# ---------------------------------------------------------------------------
+# view discovery (section 3: "communicates with members of the configuration
+# to determine the current primary and viewid")
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class ViewProbeMsg(Message):
+    """Ask a cohort which view it is in."""
+
+    reply_to: str
+
+
+@dataclasses.dataclass
+class ViewProbeReplyMsg(Message):
+    """A cohort's notion of the current view (None if it is mid-change)."""
+
+    groupid: str
+    viewid: Optional[ViewId]
+    view: Optional[View]
+    active: bool
+
+
+# ---------------------------------------------------------------------------
+# client-group transaction intake (driver -> client group primary)
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class TxnRequestMsg(Message):
+    """A workload driver asks the client-group primary to run a program."""
+
+    request_id: int
+    program: str
+    args: Tuple
+    reply_to: str
+
+
+@dataclasses.dataclass
+class TxnOutcomeMsg(Message):
+    """Final outcome of a driver-submitted transaction."""
+
+    request_id: int
+    outcome: str  # committed | aborted
+    result: Any
+    aid: Optional[Aid]
+
+
+# ---------------------------------------------------------------------------
+# coordinator-server (section 3.5)
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class BeginTxnMsg(Message):
+    """Unreplicated client registers a transaction with the
+    coordinator-server group and obtains an aid."""
+
+    request_id: int
+    client: str
+
+
+@dataclasses.dataclass
+class BeginTxnReplyMsg(Message):
+    request_id: int
+    aid: Optional[Aid]
+
+
+@dataclasses.dataclass
+class FinishTxnMsg(Message):
+    """Client asks the coordinator-server to commit (runs 2PC) or abort."""
+
+    aid: Aid
+    decision: str  # "commit" | "abort"
+    pset_pairs: Tuple
+    aborted_subactions: Tuple[int, ...]
+    client: str
+
+
+@dataclasses.dataclass
+class FinishTxnReplyMsg(Message):
+    aid: Aid
+    outcome: str  # committed | aborted
+
+
+@dataclasses.dataclass
+class ClientProbeMsg(Message):
+    """Coordinator-server checks whether its client is still alive before
+    unilaterally aborting an apparently-active transaction (section 3.5)."""
+
+    aid: Aid
+
+
+@dataclasses.dataclass
+class ClientProbeReplyMsg(Message):
+    aid: Aid
+    active: bool

@@ -1,0 +1,349 @@
+"""The view change algorithm (paper section 4, Figure 5).
+
+Roles:
+
+- *view manager*: mints a viewid greater than any seen (paired with its own
+  mid, so viewids are globally unique), invites every other cohort, collects
+  normal/crashed acceptances, and attempts view formation when all have
+  responded or a timeout expires.
+- *underling*: accepted an invitation; waits (``await_view``) for an
+  init-view message (it was chosen primary), a newview record through the
+  buffer (it is a backup of the formed view), a higher invitation, or a
+  timeout that promotes it to manager.
+
+View formation rule (section 4): a majority of cohorts accepted, and
+
+1. a majority accepted *normally*, or
+2. ``crash_viewid < normal_viewid``, or
+3. ``crash_viewid == normal_viewid`` and the primary of that view accepted
+   normally (a primary always knows at least as much as any backup).
+
+The cohort returning the largest viewstamp in a normal acceptance becomes
+the new primary; the old primary of that view is preferred when possible
+("since this causes minimal disruption").  All acceptors -- including
+crashed ones, which the newview record will re-initialize -- join the view.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core import messages as m
+from repro.core.events import NewView
+from repro.core.view import View, majority
+from repro.core.viewstamp import ViewId, Viewstamp
+
+
+class ViewChangeController:
+    """Figure 5's state machine, hosted by a cohort."""
+
+    def __init__(self, cohort):
+        self.cohort = cohort
+        self._responses: Dict[int, m.AcceptMsg] = {}
+        self._invite_timer = None
+        self._await_timer = None
+        self._retry_timer = None
+        self._installing = False
+        self._manage_rounds = 0
+        self._formed = False
+
+    def reset(self) -> None:
+        """Drop controller state after a crash (timers died with the node)."""
+        self._responses = {}
+        self._invite_timer = None
+        self._await_timer = None
+        self._retry_timer = None
+        self._installing = False
+        self._manage_rounds = 0
+        self._formed = False
+
+    # ------------------------------------------------------------------
+    # becoming a manager
+    # ------------------------------------------------------------------
+
+    def become_manager(self) -> None:
+        from repro.core.cohort import Status
+
+        cohort = self.cohort
+        if not cohort.node.up:
+            return
+        if cohort.status is Status.ACTIVE:
+            cohort.leave_active()
+        if cohort.status is Status.VIEW_MANAGER:
+            return  # already managing; the retry timer drives progress
+        self._cancel_timers()
+        cohort.status = Status.VIEW_MANAGER
+        cohort.metrics.incr(f"view_changes_started:{cohort.mygroupid}")
+        cohort.runtime.ledger.record_view_change_started(
+            cohort.mygroupid, cohort.sim.now
+        )
+        self._make_invitations()
+
+    def _make_invitations(self) -> None:
+        """Figure 5: mint a new viewid, invite everyone, await responses."""
+        cohort = self.cohort
+        cohort.max_viewid = cohort.max_viewid.next_for(cohort.mymid)
+        self._manage_rounds += 1
+        self._formed = False
+        self._responses = {cohort.mymid: self._own_acceptance()}
+        for peer, address in cohort.configuration:
+            if peer != cohort.mymid:
+                cohort.send(
+                    address,
+                    m.InviteMsg(viewid=cohort.max_viewid, manager_mid=cohort.mymid),
+                )
+        self._invite_timer = cohort.set_timer(
+            cohort.config.invite_timeout, self._attempt_formation
+        )
+
+    def _own_acceptance(self) -> m.AcceptMsg:
+        cohort = self.cohort
+        if cohort.up_to_date:
+            return m.AcceptMsg(
+                viewid=cohort.max_viewid,
+                mid=cohort.mymid,
+                crashed=False,
+                viewstamp=cohort.history.latest,
+                was_primary=cohort.cur_view is not None
+                and cohort.cur_view.primary == cohort.mymid,
+                crash_viewid=None,
+                view=cohort.cur_view,
+            )
+        return m.AcceptMsg(
+            viewid=cohort.max_viewid,
+            mid=cohort.mymid,
+            crashed=True,
+            viewstamp=None,
+            was_primary=False,
+            crash_viewid=cohort.cur_viewid,
+        )
+
+    # ------------------------------------------------------------------
+    # accepting invitations (do_accept)
+    # ------------------------------------------------------------------
+
+    def on_invite(self, msg: m.InviteMsg) -> None:
+        from repro.core.cohort import Status
+
+        cohort = self.cohort
+        if msg.viewid < cohort.max_viewid:
+            return  # "ignore the msg"
+        if msg.viewid == cohort.max_viewid and cohort.status is not Status.UNDERLING:
+            # Equal viewid: only re-accept while still awaiting that view.
+            return
+        self._do_accept(msg.viewid, msg.manager_mid)
+
+    def _do_accept(self, viewid: ViewId, manager_mid: int) -> None:
+        from repro.core.cohort import Status
+
+        cohort = self.cohort
+        if cohort.status is Status.ACTIVE:
+            cohort.leave_active()
+        cohort.max_viewid = viewid
+        self._cancel_timers()
+        self._installing = False
+        cohort.status = Status.UNDERLING
+        cohort.send_mid(manager_mid, self._own_acceptance())
+        self._arm_await_timer()
+
+    def _arm_await_timer(self) -> None:
+        cohort = self.cohort
+        self._await_timer = cohort.set_timer(
+            cohort.config.underling_timeout, self._await_timeout
+        )
+
+    def _await_timeout(self) -> None:
+        from repro.core.cohort import Status
+
+        if self.cohort.status is Status.UNDERLING:
+            self.become_manager()
+
+    # ------------------------------------------------------------------
+    # collecting acceptances and forming the view
+    # ------------------------------------------------------------------
+
+    def on_accept(self, msg: m.AcceptMsg) -> None:
+        from repro.core.cohort import Status
+
+        cohort = self.cohort
+        if cohort.status is not Status.VIEW_MANAGER:
+            return
+        if msg.viewid != cohort.max_viewid:
+            return  # acceptance of an older proposal of ours
+        self._responses[msg.mid] = msg
+        if len(self._responses) == cohort.config_size:
+            self._attempt_formation()
+            return
+        # Section 4.1: the manager waits "to hear from all cohorts that the
+        # 'I'm alive' messages indicate should reply" -- cohorts that look
+        # dead are not waited for beyond this point.
+        expected = {
+            mid
+            for mid, _addr in cohort.configuration
+            if mid == cohort.mymid or not cohort._is_suspect(mid)
+        }
+        if set(self._responses) >= expected:
+            self._attempt_formation()
+
+    def _attempt_formation(self) -> None:
+        from repro.core.cohort import Status
+
+        cohort = self.cohort
+        if cohort.status is not Status.VIEW_MANAGER or self._formed:
+            return
+        if self._invite_timer is not None:
+            self._invite_timer.cancel()
+            self._invite_timer = None
+        view = self.form_view(self._responses)
+        if view is None:
+            cohort.metrics.incr(f"view_formations_failed:{cohort.mygroupid}")
+            self._retry_timer = cohort.set_timer(
+                cohort.config.view_retry_delay, self._make_invitations
+            )
+            return
+        self._formed = True
+        if view.primary == cohort.mymid:
+            self._start_view(view)
+        else:
+            cohort.send_mid(
+                view.primary, m.InitViewMsg(viewid=cohort.max_viewid, view=view)
+            )
+            cohort.status = Status.UNDERLING
+            self._arm_await_timer()
+
+    def form_view(self, responses: Dict[int, m.AcceptMsg]) -> Optional[View]:
+        """Apply the section-4 formation rule; None when it cannot be met."""
+        cohort = self.cohort
+        accepted = list(responses.values())
+        if len(accepted) < majority(cohort.config_size):
+            return None
+        normals = [a for a in accepted if not a.crashed]
+        crashed = [a for a in accepted if a.crashed]
+        if not normals:
+            return None
+        normal_vs: Viewstamp = max(a.viewstamp for a in normals)
+        normal_viewid = normal_vs.id
+        if crashed:
+            crash_viewid = max(a.crash_viewid for a in crashed)
+            cond1 = len(normals) >= majority(cohort.config_size)
+            cond2 = crash_viewid < normal_viewid
+            cond3 = crash_viewid == normal_viewid and any(
+                a.was_primary and a.viewstamp.id == normal_viewid for a in normals
+            )
+            cond4 = (
+                crash_viewid == normal_viewid
+                and getattr(cohort.config, "extended_formation_rule", False)
+                and self._backups_cover_forces(normals, normal_viewid)
+            )
+            if not (cond1 or cond2 or cond3 or cond4):
+                return None
+        primary = self._choose_primary(normals, normal_vs)
+        backups = tuple(
+            sorted(a.mid for a in accepted if a.mid != primary)
+        )
+        return View(primary=primary, backups=backups)
+
+    def _backups_cover_forces(self, normals, normal_viewid) -> bool:
+        """Extended formation condition (beyond the paper; DESIGN.md D11).
+
+        Every force in view V required acknowledgments from a sub-majority
+        ``s`` of V's ``b`` backups, and buffer delivery is a cumulative
+        prefix of the primary's log.  Therefore if at least ``b - s + 1``
+        backups of V accepted normally, the set intersects every possible
+        force quorum, and its max-viewstamp member's prefix contains every
+        forced event -- it can safely seed the new view even though V's
+        primary (which the paper's condition 3 insists on) is gone.
+        """
+        from repro.core.view import sub_majority
+
+        members = [a for a in normals if a.viewstamp.id == normal_viewid]
+        if not members:
+            return False
+        old_view = next((a.view for a in members if a.view is not None), None)
+        if old_view is None or old_view.primary in {a.mid for a in members}:
+            return False  # no membership info / condition 3 territory
+        old_backups = [a for a in members if a.mid in old_view.backups]
+        needed = len(old_view.backups) - sub_majority(self.cohort.config_size) + 1
+        return len(old_backups) >= max(needed, 1)
+
+    @staticmethod
+    def _choose_primary(normals, normal_vs: Viewstamp) -> int:
+        """Largest viewstamp wins; the old primary of that view if possible."""
+        for acceptance in normals:
+            if acceptance.was_primary and acceptance.viewstamp.id == normal_vs.id:
+                return acceptance.mid
+        candidates = [a.mid for a in normals if a.viewstamp == normal_vs]
+        return min(candidates)
+
+    # ------------------------------------------------------------------
+    # starting the view (new primary path)
+    # ------------------------------------------------------------------
+
+    def on_init_view(self, msg: m.InitViewMsg) -> None:
+        from repro.core.cohort import Status
+
+        cohort = self.cohort
+        if msg.viewid != cohort.max_viewid:
+            return
+        if cohort.status is Status.ACTIVE and cohort.cur_viewid == msg.viewid:
+            return  # duplicate init for a view we already started
+        self._start_view(msg.view)
+
+    def _start_view(self, view: View) -> None:
+        """Figure 5 ``start_view``: open the history entry, persist the
+        viewid, then activate (``activate_as_primary`` builds the newview
+        record and opens the buffer)."""
+        cohort = self.cohort
+        self._cancel_timers()
+        viewid = cohort.max_viewid
+        cohort.cur_view = view
+        cohort.cur_viewid = viewid
+        cohort.history.open_view(viewid)
+        write = cohort.stable.write("cur_viewid", viewid)
+
+        def on_durable(_future) -> None:
+            if cohort.max_viewid != viewid or not cohort.node.up:
+                return  # preempted by a higher view while writing
+            cohort.activate_as_primary(viewid, view)
+
+        write.add_done_callback(on_durable)
+
+    # ------------------------------------------------------------------
+    # underling: newview arriving through the buffer
+    # ------------------------------------------------------------------
+
+    def on_buffer_while_underling(self, msg: m.BufferMsg) -> None:
+        cohort = self.cohort
+        if msg.viewid != cohort.max_viewid or self._installing:
+            return
+        if not msg.records or msg.records[0][0] != 1:
+            return  # need the start of the view; primary resends from ts 1
+        first_ts, first_record = msg.records[0]
+        if not isinstance(first_record, NewView):
+            return
+        self._installing = True
+        viewid = msg.viewid
+        write = cohort.stable.write("cur_viewid", viewid)
+
+        def on_durable(_future) -> None:
+            self._installing = False
+            if cohort.max_viewid != viewid or not cohort.node.up:
+                return
+            from repro.core.cohort import Status
+
+            if cohort.status is not Status.UNDERLING:
+                return
+            self._cancel_timers()
+            cohort.install_newview(viewid, first_record)
+
+        write.add_done_callback(on_durable)
+
+    # ------------------------------------------------------------------
+
+    def _cancel_timers(self) -> None:
+        for timer in (self._invite_timer, self._await_timer, self._retry_timer):
+            if timer is not None:
+                timer.cancel()
+        self._invite_timer = None
+        self._await_timer = None
+        self._retry_timer = None

@@ -1,0 +1,163 @@
+"""Workload drivers: front-ends that submit transactions to client groups.
+
+A driver plays the role of the end user (say, a travel agent at a
+terminal): it sends a transaction request to the client group's primary and
+waits for the outcome.  If the primary is lost, the driver re-probes the
+group and re-submits.  Submission is at-most-once *per attempt*: a
+re-submission after a silent timeout starts a fresh transaction (the
+previous attempt, if it got anywhere, was auto-aborted by the client
+group's view change, or -- rarely -- committed without the driver learning
+it; the :class:`~repro.analysis.ledger.TransactionLedger` is the ground
+truth the harness reports from).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core import messages as m
+from repro.core.cache import ClientCache
+from repro.sim.future import Future
+from repro.sim.node import Actor, Node
+
+
+@dataclasses.dataclass
+class _PendingRequest:
+    request_id: int
+    groupid: str
+    program: str
+    args: Tuple
+    future: Future
+    retries_left: int
+    timer: Any = None
+    submitted_at: float = 0.0
+
+
+class Driver(Actor):
+    """Submits transaction programs to a client group and awaits outcomes."""
+
+    def __init__(self, node: Node, runtime, name: str):
+        super().__init__(node, name)
+        self.runtime = runtime
+        self.config = runtime.config
+        self.cache = ClientCache()
+        self._requests: Dict[int, _PendingRequest] = {}
+        self._next_request = 0
+        runtime.network.register(self)
+
+    # -- API ----------------------------------------------------------------
+
+    def submit(self, groupid: str, program: str, *args: Any, retries: int = 8) -> Future:
+        """Run *program* at *groupid*; resolves to (outcome, result).
+
+        Outcome is "committed", "aborted", or "unknown" (the group was
+        unreachable for the whole retry budget).
+        """
+        self._next_request += 1
+        request = _PendingRequest(
+            request_id=self._next_request,
+            groupid=groupid,
+            program=program,
+            args=tuple(args),
+            future=Future(label=f"submit:{program}:{self._next_request}"),
+            retries_left=retries,
+            submitted_at=self.sim.now,
+        )
+        self._requests[request.request_id] = request
+        self._send(request)
+        return request.future
+
+    # -- transmission ----------------------------------------------------------
+
+    def _send(self, request: _PendingRequest) -> None:
+        entry = self.cache.get(request.groupid)
+        if entry is None:
+            self._probe(request.groupid)
+        else:
+            self.runtime.network.send(
+                self.address,
+                entry.primary_address,
+                m.TxnRequestMsg(
+                    request_id=request.request_id,
+                    program=request.program,
+                    args=request.args,
+                    reply_to=self.address,
+                ),
+            )
+        request.timer = self.node.set_timer(
+            self.config.call_timeout * 2, self._on_timeout, request.request_id
+        )
+
+    def _probe(self, groupid: str) -> None:
+        for _mid, address in self.runtime.location.lookup(groupid):
+            self.runtime.network.send(
+                self.address, address, m.ViewProbeMsg(reply_to=self.address)
+            )
+
+    def _on_timeout(self, request_id: int) -> None:
+        request = self._requests.get(request_id)
+        if request is None:
+            return
+        if request.retries_left <= 0:
+            self._requests.pop(request_id, None)
+            if not request.future.done:
+                request.future.set_result(("unknown", None))
+            return
+        request.retries_left -= 1
+        self.cache.invalidate(request.groupid)
+        self._send(request)
+
+    # -- message handling ---------------------------------------------------------
+
+    def handle_message(self, message, source: str) -> None:
+        if isinstance(message, m.TxnOutcomeMsg):
+            request = self._requests.pop(message.request_id, None)
+            if request is None:
+                return
+            if request.timer is not None:
+                request.timer.cancel()
+            if not request.future.done:
+                latency = self.sim.now - request.submitted_at
+                self.runtime.metrics.observe("driver_txn_latency", latency)
+                request.future.set_result((message.outcome, message.result))
+        elif isinstance(message, m.ViewProbeReplyMsg):
+            if message.active and message.viewid is not None:
+                primary_address = None
+                for mid, address in self.runtime.location.lookup(message.groupid):
+                    if mid == message.view.primary:
+                        primary_address = address
+                if self.cache.update(
+                    message.groupid, message.viewid, message.view, primary_address
+                ):
+                    for request in list(self._requests.values()):
+                        if (
+                            request.groupid == message.groupid
+                            and self.cache.get(request.groupid) is not None
+                        ):
+                            if request.timer is not None:
+                                request.timer.cancel()
+                            self._send(request)
+        elif isinstance(message, m.ViewChangedMsg):
+            # Our request hit a non-primary.  Use the rejection's view info
+            # if it carries any, otherwise probe the group.
+            if message.groupid:
+                if message.viewid is not None and message.view is not None:
+                    primary_address = None
+                    for mid, address in self.runtime.location.lookup(message.groupid):
+                        if mid == message.view.primary:
+                            primary_address = address
+                    moved = self.cache.update(
+                        message.groupid, message.viewid, message.view, primary_address
+                    )
+                    if moved:
+                        for request in list(self._requests.values()):
+                            if request.groupid == message.groupid:
+                                if request.timer is not None:
+                                    request.timer.cancel()
+                                self._send(request)
+                else:
+                    self._probe(message.groupid)
+
+    def on_crash(self) -> None:
+        self._requests.clear()

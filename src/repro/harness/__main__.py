@@ -1,0 +1,43 @@
+"""Run experiment studies from the command line.
+
+Usage::
+
+    python -m repro.harness            # run every experiment (slow: ~2 min)
+    python -m repro.harness E1 E4 E9   # run selected experiments
+    python -m repro.harness --list     # list experiments
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.harness import ALL_EXPERIMENTS, format_result
+
+
+def main(argv: list[str]) -> int:
+    if "--list" in argv:
+        for exp_id, fn in ALL_EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()
+            print(f"{exp_id:>4}  {fn.__name__}  {doc[0] if doc else ''}")
+        return 0
+    wanted = [arg.upper() for arg in argv if not arg.startswith("-")]
+    if wanted:
+        unknown = [exp for exp in wanted if exp not in ALL_EXPERIMENTS]
+        if unknown:
+            print(f"unknown experiments: {unknown}; try --list", file=sys.stderr)
+            return 2
+        selection = {exp: ALL_EXPERIMENTS[exp] for exp in wanted}
+    else:
+        selection = ALL_EXPERIMENTS
+    for exp_id, fn in selection.items():
+        started = time.time()
+        result = fn()
+        print(format_result(result))
+        print(f"[{exp_id} took {time.time() - started:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

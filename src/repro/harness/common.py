@@ -1,0 +1,136 @@
+"""Shared plumbing for the experiment harness."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro import EmptyModule, Runtime
+from repro.analysis.tables import render_table
+from repro.config import ProtocolConfig
+from repro.workloads.kv import KVStoreSpec
+from repro.workloads.loadgen import ClosedLoopStats, run_closed_loop
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """One experiment's reproduced table."""
+
+    exp_id: str
+    title: str
+    claim: str          # the paper sentence(s) being reproduced
+    headers: Sequence[str]
+    rows: List[Sequence]
+    notes: str = ""
+
+    def render(self) -> str:
+        lines = [
+            f"== {self.exp_id}: {self.title} ==",
+            f"claim: {self.claim}",
+            "",
+            render_table(self.headers, self.rows),
+        ]
+        if self.notes:
+            lines += ["", f"note: {self.notes}"]
+        return "\n".join(lines)
+
+
+def format_result(result: ExperimentResult) -> str:
+    return result.render()
+
+
+def build_kv_system(
+    seed: int = 0,
+    n_cohorts: int = 3,
+    n_keys: int = 16,
+    config: Optional[ProtocolConfig] = None,
+    link=None,
+    register=("get", "put", "update"),
+) -> Tuple[Runtime, object, object, object, KVStoreSpec]:
+    """Runtime with a KV group, a client group, and a driver."""
+    from repro.workloads.kv import read_program, update_program, write_program
+
+    kwargs = {}
+    if config is not None:
+        kwargs["config"] = config
+    if link is not None:
+        kwargs["link"] = link
+    rt = Runtime(seed=seed, **kwargs)
+    spec = KVStoreSpec(n_keys=n_keys)
+    kv = rt.create_group("kv", spec, n_cohorts=n_cohorts)
+    clients = rt.create_group("clients", EmptyModule(), n_cohorts=n_cohorts)
+    clients.register_program("read", read_program)
+    clients.register_program("write", write_program)
+    clients.register_program("update", update_program)
+    driver = rt.create_driver("driver")
+    return rt, kv, clients, driver, spec
+
+
+def kv_jobs(
+    rt: Runtime,
+    spec: KVStoreSpec,
+    count: int,
+    read_fraction: float,
+    rng_name: str = "jobs",
+) -> List[Tuple[str, tuple]]:
+    """A randomized read/write job mix against the "kv" group."""
+    rng = rt.sim.rng.fork(rng_name)
+    jobs = []
+    for index in range(count):
+        key = spec.key(rng.randint(0, spec.n_keys - 1))
+        if rng.random() < read_fraction:
+            jobs.append(("read", ("kv", key)))
+        else:
+            jobs.append(("write", ("kv", key, index)))
+    return jobs
+
+
+def drain(
+    rt: Runtime,
+    stats: ClosedLoopStats,
+    expected: int,
+    step: float = 500.0,
+    max_time: float = 200_000.0,
+) -> None:
+    """Run the simulation until the closed loop finishes (or time is up)."""
+    deadline = rt.sim.now + max_time
+    while stats.submitted < expected and rt.sim.now < deadline:
+        rt.run_for(step)
+
+
+def run_kv_batch(
+    rt: Runtime,
+    driver,
+    spec: KVStoreSpec,
+    count: int,
+    read_fraction: float,
+    concurrency: int = 1,
+    think_time: float = 0.0,
+) -> ClosedLoopStats:
+    jobs = kv_jobs(rt, spec, count, read_fraction)
+    stats = run_closed_loop(
+        rt, driver, "clients", jobs, concurrency=concurrency, think_time=think_time
+    )
+    drain(rt, stats, count)
+    return stats
+
+
+def sync_msgs(rt: Runtime, msg_types: Sequence[str]) -> int:
+    return sum(rt.metrics.messages_sent.get(t, 0) for t in msg_types)
+
+
+#: Message types on the synchronous path of one remote call.
+CALL_MSGS = ("CallMsg", "ReplyMsg")
+#: Background replication traffic.
+BUFFER_MSGS = ("BufferMsg", "BufferAckMsg")
+#: Two-phase-commit traffic.
+TWOPC_MSGS = (
+    "PrepareMsg",
+    "PrepareOkMsg",
+    "PrepareRefusedMsg",
+    "CommitMsg",
+    "CommitAckMsg",
+    "AbortMsg",
+)
+#: View change traffic (viewstamped replication).
+VIEWCHANGE_MSGS = ("InviteMsg", "AcceptMsg", "InitViewMsg")

@@ -1,0 +1,5 @@
+"""The location service (paper section 3)."""
+
+from repro.location.service import LocationService
+
+__all__ = ["LocationService"]

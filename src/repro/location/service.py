@@ -1,0 +1,42 @@
+"""Highly-available location service: groupid -> configuration.
+
+Paper section 3: "We assume the system provides a highly-available location
+server that maps groupids to configurations; various implementations are
+discussed in [15, 20, 22, 31]...  Note that the location server defines the
+limits of availability: no module group can be more available than it is."
+
+Substitution (see DESIGN.md): the paper treats this server as an assumed,
+separately-published building block, so we model it as an always-available
+oracle holding the (static) groupid -> configuration map.  Everything the
+protocol actually exercises -- discovering the *current primary and viewid*
+by probing configuration members, coping with stale caches -- still happens
+over the simulated network (see :mod:`repro.core.calls`); only the static
+membership lookup is oracular.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+
+class LocationService:
+    """Maps groupids to configurations ((mid, address) pairs)."""
+
+    def __init__(self) -> None:
+        self._configurations: Dict[str, Tuple[Tuple[int, str], ...]] = {}
+
+    def register(self, groupid: str, configuration) -> None:
+        if groupid in self._configurations:
+            raise ValueError(f"group {groupid!r} already registered")
+        self._configurations[groupid] = tuple(configuration)
+
+    def lookup(self, groupid: str) -> Tuple[Tuple[int, str], ...]:
+        if groupid not in self._configurations:
+            raise KeyError(f"unknown group {groupid!r}")
+        return self._configurations[groupid]
+
+    def groups(self):
+        return tuple(self._configurations)
+
+    def __contains__(self, groupid: str) -> bool:
+        return groupid in self._configurations

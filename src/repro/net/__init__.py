@@ -1,0 +1,20 @@
+"""Simulated network substrate (paper section 1 failure model).
+
+Provides addressed, datagram-style message delivery between actors with
+configurable delay, loss, duplication and reordering, plus partition and
+link-failure injection.
+"""
+
+from repro.net.link import LAN, LOSSY, LinkModel
+from repro.net.messages import Envelope, Message, estimate_size
+from repro.net.network import Network
+
+__all__ = [
+    "LAN",
+    "LOSSY",
+    "Envelope",
+    "LinkModel",
+    "Message",
+    "Network",
+    "estimate_size",
+]

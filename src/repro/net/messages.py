@@ -1,0 +1,73 @@
+"""Base message type and byte-size estimation.
+
+Byte sizes matter for the Isis comparison (experiment E9): the paper argues
+Isis must piggyback ever-growing effect information on every message, while
+viewstamped replication's psets stay small and are discarded at commit.  We
+estimate wire size structurally so the comparison is apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+_HEADER_BYTES = 32  # source, destination, msg id, type tag
+
+
+def estimate_size(value: Any) -> int:
+    """Rough wire-size estimate of a payload value, in bytes."""
+    if value is None or isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, str):
+        return len(value)
+    if isinstance(value, bytes):
+        return len(value)
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return 4 + sum(estimate_size(item) for item in value)
+    if isinstance(value, dict):
+        return 4 + sum(
+            estimate_size(k) + estimate_size(v) for k, v in value.items()
+        )
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return sum(
+            estimate_size(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        )
+    if hasattr(value, "byte_size"):
+        return value.byte_size()
+    return 16  # opaque object
+
+
+@dataclasses.dataclass
+class Message:
+    """Base class for every wire message in the system.
+
+    Subclasses are frozen-ish dataclasses named after the paper's messages
+    (call, reply, prepare, commit, abort, invite, accept, init-view, ...).
+    ``msg_type`` defaults to the class name, which is what metrics key on.
+    """
+
+    @property
+    def msg_type(self) -> str:
+        return type(self).__name__
+
+    def byte_size(self) -> int:
+        return _HEADER_BYTES + sum(
+            estimate_size(getattr(self, field.name))
+            for field in dataclasses.fields(self)
+        )
+
+
+@dataclasses.dataclass
+class Envelope:
+    """A message in flight: routing metadata wrapped around the payload."""
+
+    msg_id: int
+    source: str
+    destination: str
+    payload: Message
+    sent_at: float

@@ -1,0 +1,168 @@
+"""The simulated network: addressing, delivery, partitions, dedup.
+
+Semantics (paper section 1 and 3.1):
+
+- Messages may be lost, delayed, duplicated, and reordered (``LinkModel``).
+- Link failures can partition the network into subnetworks; partitions are
+  eventually repaired (``partition`` / ``heal``).
+- The delivery system suppresses *network-generated* duplicates even across
+  a crash/recover of the receiver (section 3.1 assumes "the message delivery
+  system maintains some connection information that enables it to not
+  deliver duplicate messages").  Dedup state therefore lives in the network,
+  not on the node.  Application-level retransmissions are new messages and
+  are *not* suppressed; the protocol handles those with call ids.
+- A message to a crashed node is lost.  Partition membership is checked both
+  at send and at delivery time: a message in flight when a partition forms
+  does not cross it (conservative, and the harder case for the protocol).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.analysis.metrics import Metrics
+from repro.net.link import LAN, LinkModel
+from repro.net.messages import Envelope, Message
+from repro.sim.kernel import Simulator
+from repro.sim.node import Actor, Node
+
+
+class Network:
+    """Message plane connecting actors by string addresses."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: LinkModel = LAN,
+        metrics: Optional[Metrics] = None,
+    ):
+        self.sim = sim
+        self.link = link
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.rng = sim.rng.fork("network")
+        self._actors: Dict[str, Actor] = {}
+        self._next_msg_id = 0
+        self._partition: Optional[list[Set[str]]] = None  # blocks of node ids
+        self._failed_links: Set[Tuple[str, str]] = set()
+        self._delivered_ids: Set[int] = set()
+        self._link_overrides: Dict[Tuple[str, str], LinkModel] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def register(self, actor: Actor) -> None:
+        """Make *actor* reachable at ``actor.address``."""
+        if actor.address in self._actors:
+            raise ValueError(f"address {actor.address!r} already registered")
+        self._actors[actor.address] = actor
+
+    def actor_at(self, address: str) -> Optional[Actor]:
+        return self._actors.get(address)
+
+    def node_of(self, address: str) -> Optional[Node]:
+        actor = self._actors.get(address)
+        return actor.node if actor is not None else None
+
+    # -- partitions and link failures -----------------------------------------
+
+    def partition(self, blocks: Iterable[Iterable[str]]) -> None:
+        """Split the network into blocks of *node ids* that cannot cross-talk.
+
+        Nodes absent from every block form an implicit final block together.
+        """
+        self._partition = [set(block) for block in blocks]
+        self.sim.trace("partition", blocks=[sorted(b) for b in self._partition])
+
+    def heal(self) -> None:
+        """Repair all partitions and failed links."""
+        self._partition = None
+        self._failed_links.clear()
+        self.sim.trace("heal")
+
+    def fail_link(self, node_a: str, node_b: str) -> None:
+        """Sever the (bidirectional) link between two nodes."""
+        self._failed_links.add(self._link_key(node_a, node_b))
+
+    def repair_link(self, node_a: str, node_b: str) -> None:
+        self._failed_links.discard(self._link_key(node_a, node_b))
+
+    def set_link_model(self, src: str, dst: str, model: LinkModel) -> None:
+        """Override link behaviour for one directed address pair."""
+        self._link_overrides[(src, dst)] = model
+
+    @staticmethod
+    def _link_key(a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    def _block_of(self, node_id: str) -> int:
+        assert self._partition is not None
+        for index, block in enumerate(self._partition):
+            if node_id in block:
+                return index
+        return len(self._partition)  # implicit leftover block
+
+    def can_communicate(self, src_addr: str, dst_addr: str) -> bool:
+        """Whether the current partition/link state lets src reach dst."""
+        src_node = self.node_of(src_addr)
+        dst_node = self.node_of(dst_addr)
+        if src_node is None or dst_node is None:
+            return False
+        if src_node is dst_node:
+            return True
+        if self._link_key(src_node.node_id, dst_node.node_id) in self._failed_links:
+            return False
+        if self._partition is not None:
+            if self._block_of(src_node.node_id) != self._block_of(dst_node.node_id):
+                return False
+        return True
+
+    # -- send/deliver -----------------------------------------------------------
+
+    def send(self, source: str, destination: str, payload: Message) -> None:
+        """Fire-and-forget datagram send.  All loss is silent, as on a LAN."""
+        self._next_msg_id += 1
+        envelope = Envelope(
+            msg_id=self._next_msg_id,
+            source=source,
+            destination=destination,
+            payload=payload,
+            sent_at=self.sim.now,
+        )
+        self.metrics.on_send(payload.msg_type, payload.byte_size())
+
+        src_node = self.node_of(source)
+        if src_node is not None and not src_node.up:
+            # A crashed node cannot send; count it for debugging visibility.
+            self.metrics.on_drop(payload.msg_type)
+            return
+        if not self.can_communicate(source, destination):
+            self.metrics.on_drop(payload.msg_type)
+            return
+
+        model = self._link_overrides.get((source, destination), self.link)
+        if model.drops(self.rng):
+            self.metrics.on_drop(payload.msg_type)
+            return
+        self.sim.schedule(model.draw_delay(self.rng), self._deliver, envelope)
+        if model.duplicates(self.rng):
+            self.metrics.on_duplicate(payload.msg_type)
+            self.sim.schedule(model.draw_delay(self.rng), self._deliver, envelope)
+
+    def _deliver(self, envelope: Envelope) -> None:
+        actor = self._actors.get(envelope.destination)
+        if actor is None or not actor.node.up:
+            self.metrics.on_drop(envelope.payload.msg_type)
+            return
+        if not self.can_communicate(envelope.source, envelope.destination):
+            self.metrics.on_drop(envelope.payload.msg_type)
+            return
+        if envelope.msg_id in self._delivered_ids:
+            # Network-generated duplicate: suppressed per section 3.1.
+            return
+        self._delivered_ids.add(envelope.msg_id)
+        if len(self._delivered_ids) > 200_000:
+            # Ids are monotonically increasing; old ones can never reappear
+            # because both copies of a duplicate are scheduled at send time.
+            cutoff = self._next_msg_id - 100_000
+            self._delivered_ids = {i for i in self._delivered_ids if i > cutoff}
+        self.metrics.on_deliver(envelope.payload.msg_type)
+        actor.handle_message(envelope.payload, envelope.source)

@@ -1,0 +1,44 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel provides:
+
+- :class:`~repro.sim.kernel.Simulator` -- an event-heap scheduler with a
+  virtual clock.  Every run is exactly reproducible: ties are broken by a
+  monotonically increasing sequence number, and all randomness flows through
+  seeded :class:`~repro.sim.rng.SeededRng` streams.
+- :class:`~repro.sim.future.Future` -- a resolvable placeholder used to wire
+  asynchronous completion between actors and processes.
+- :class:`~repro.sim.process.Process` -- generator-based coroutines: a process
+  ``yield``s futures, :func:`~repro.sim.process.sleep` sentinels, or other
+  processes, and the kernel resumes it when they resolve.
+- :class:`~repro.sim.node.Node` -- a fail-stop machine (paper section 1) that
+  hosts actors, crashes (losing volatile state and pending timers), and
+  recovers with a new incarnation number.
+"""
+
+from repro.sim.errors import (
+    CancelledError,
+    SimulationError,
+    SimulationLimitExceeded,
+)
+from repro.sim.future import Future
+from repro.sim.kernel import Simulator, Timer
+from repro.sim.node import Actor, Node
+from repro.sim.process import Process, all_of, any_of, sleep
+from repro.sim.rng import SeededRng
+
+__all__ = [
+    "Actor",
+    "CancelledError",
+    "Future",
+    "Node",
+    "Process",
+    "SeededRng",
+    "SimulationError",
+    "SimulationLimitExceeded",
+    "Simulator",
+    "Timer",
+    "all_of",
+    "any_of",
+    "sleep",
+]

@@ -1,0 +1,21 @@
+"""Exceptions raised by the simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for all kernel-level errors."""
+
+
+class SimulationLimitExceeded(SimulationError):
+    """The simulator processed more events than the configured safety limit.
+
+    Almost always indicates a livelock in protocol code (e.g. two view
+    managers re-inviting each other forever with no timeout backoff).
+    """
+
+
+class CancelledError(SimulationError):
+    """A future or process was cancelled before it produced a result."""
+
+
+class SchedulingInPastError(SimulationError):
+    """An event was scheduled with a negative delay."""

@@ -1,0 +1,100 @@
+"""Futures: single-assignment result cells that wake their waiters."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.errors import CancelledError, SimulationError
+
+_PENDING = "pending"
+_RESOLVED = "resolved"
+_FAILED = "failed"
+_CANCELLED = "cancelled"
+
+
+class Future:
+    """A placeholder for a value produced later in virtual time.
+
+    Callbacks registered with :meth:`add_done_callback` run synchronously at
+    the instant of resolution (they receive the future itself).  Processes
+    that ``yield`` a future are resumed through this mechanism.
+    """
+
+    __slots__ = ("_state", "_value", "_callbacks", "label")
+
+    def __init__(self, label: str = ""):
+        self._state = _PENDING
+        self._value: Any = None
+        self._callbacks: list[Callable[["Future"], None]] = []
+        self.label = label
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self._state != _PENDING
+
+    @property
+    def cancelled(self) -> bool:
+        return self._state == _CANCELLED
+
+    @property
+    def failed(self) -> bool:
+        return self._state in (_FAILED, _CANCELLED)
+
+    def result(self) -> Any:
+        """Return the value, raising if the future failed or is pending."""
+        if self._state == _RESOLVED:
+            return self._value
+        if self._state == _FAILED:
+            raise self._value
+        if self._state == _CANCELLED:
+            raise CancelledError(self.label or "future cancelled")
+        raise SimulationError(f"future {self.label!r} is still pending")
+
+    def exception(self) -> Optional[BaseException]:
+        """Return the failure exception, or None if resolved/pending."""
+        if self._state == _FAILED:
+            return self._value
+        if self._state == _CANCELLED:
+            return CancelledError(self.label or "future cancelled")
+        return None
+
+    # -- resolution -----------------------------------------------------------
+
+    def set_result(self, value: Any = None) -> None:
+        if self._state != _PENDING:
+            raise SimulationError(f"future {self.label!r} already {self._state}")
+        self._state = _RESOLVED
+        self._value = value
+        self._run_callbacks()
+
+    def set_exception(self, exc: BaseException) -> None:
+        if self._state != _PENDING:
+            raise SimulationError(f"future {self.label!r} already {self._state}")
+        self._state = _FAILED
+        self._value = exc
+        self._run_callbacks()
+
+    def cancel(self) -> bool:
+        """Cancel if still pending.  Returns True if this call cancelled it."""
+        if self._state != _PENDING:
+            return False
+        self._state = _CANCELLED
+        self._run_callbacks()
+        return True
+
+    def add_done_callback(self, callback: Callable[["Future"], None]) -> None:
+        """Invoke *callback(self)* on resolution (immediately if already done)."""
+        if self.done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _run_callbacks(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Future({self.label!r}, {self._state})"

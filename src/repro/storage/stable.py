@@ -1,0 +1,90 @@
+"""Stable storage: survives crashes, costs latency to force.
+
+The paper deliberately minimizes stable storage (section 4.2): only
+``mymid``, ``configuration``, ``mygroupid`` (written at creation) and
+``cur_viewid`` (written at the end of a view change) are stable; everything
+else is volatile and replication substitutes for disk forces.  Experiment
+E3 measures exactly this trade (communication vs stable-storage latency),
+and E11 measures the catastrophe exposure it buys, so the store models
+write latency explicitly.
+
+Crash semantics: a synchronous write becomes durable only when it
+*completes*.  Writes are scheduled through the owning node, so a crash
+mid-write cancels the completion and the old value remains -- the
+atomic-page behaviour Lampson & Sturgis stable storage provides.
+"""
+
+from __future__ import annotations
+
+import copy
+import enum
+from typing import Any, Dict, Optional
+
+from repro.sim.future import Future
+from repro.sim.node import Node
+
+
+class StableStoragePolicy(enum.Enum):
+    """How much cohort state is kept on stable storage (section 4.2).
+
+    MINIMAL is the paper's design.  PRIMARY_GSTATE is the paper's suggested
+    hardening ("we might use stable storage only at the primary"): the
+    primary also persists its group state and history on every force, which
+    closes the catastrophe window at the cost of disk latency on the
+    critical path.  ALL persists at every cohort (the conventional-system
+    endpoint of the spectrum).
+    """
+
+    MINIMAL = "minimal"
+    PRIMARY_GSTATE = "primary_gstate"
+    ALL = "all"
+
+
+class StableStore:
+    """Per-node key/value stable storage with modelled write latency.
+
+    Values are deep-copied on write so later in-memory mutation of protocol
+    state cannot retroactively alter what was "on disk".
+    """
+
+    def __init__(self, node: Node, write_latency: float = 5.0):
+        self.node = node
+        self.write_latency = write_latency
+        self._data: Dict[str, Any] = {}
+
+    def write(self, key: str, value: Any) -> Future:
+        """Force *value* durable; the future resolves when it is on disk.
+
+        If the node crashes before the latency elapses, the write is lost
+        (the future is simply never resolved -- its waiters died with the
+        node anyway).
+        """
+        future = Future(label=f"stable-write:{key}")
+        snapshot = copy.deepcopy(value)
+
+        def complete() -> None:
+            self._data[key] = snapshot
+            future.set_result(None)
+
+        self.node.set_timer(self.write_latency, complete)
+        return future
+
+    def write_immediate(self, key: str, value: Any) -> None:
+        """Durable write with no latency -- for initial configuration only.
+
+        The paper writes ``mymid``/``configuration``/``mygroupid`` "when the
+        cohort is first created", before the simulation starts.
+        """
+        self._data[key] = copy.deepcopy(value)
+
+    def read(self, key: str, default: Any = None) -> Any:
+        """Read survives crashes; returns a copy so callers can mutate."""
+        if key not in self._data:
+            return default
+        return copy.deepcopy(self._data[key])
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StableStore(node={self.node.node_id!r}, keys={sorted(self._data)})"

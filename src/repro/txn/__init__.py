@@ -1,0 +1,18 @@
+"""Transaction substrate: identifiers, psets, locks, versioned objects."""
+
+from repro.txn.ids import Aid, CallId
+from repro.txn.locks import LockManager
+from repro.txn.objects import READ, WRITE, ObjectStore, StoredObject
+from repro.txn.pset import PSet, PSetPair
+
+__all__ = [
+    "Aid",
+    "CallId",
+    "LockManager",
+    "ObjectStore",
+    "PSet",
+    "PSetPair",
+    "READ",
+    "StoredObject",
+    "WRITE",
+]

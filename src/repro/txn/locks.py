@@ -1,0 +1,219 @@
+"""Strict two-phase locking over the object store (paper section 3).
+
+"We assume that transactions are synchronized by means of strict 2-phase
+locking with read and write locks."  The paper leaves conflict handling
+unspecified; we queue waiters FIFO and let the caller impose a timeout
+(the documented deadlock-breaking deviation in DESIGN.md section 3.5).
+
+Semantics:
+
+- read locks are shared; write locks are exclusive;
+- a transaction upgrades its own read lock to a write lock when it is the
+  sole reader (otherwise it waits for the other readers);
+- at *prepare*, read locks are released (Figure 3 step 1), which is legal
+  under strict 2PL because the transaction acquires no further locks;
+- at *commit*, tentative versions are installed and all locks released;
+- at *abort*, tentative versions and locks are discarded.
+
+All grant decisions are synchronous and deterministic (FIFO), so runs are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional
+
+from repro.sim.future import Future
+from repro.txn.objects import READ, WRITE, LockInfo, ObjectStore, TentativeWrite
+
+
+@dataclasses.dataclass
+class _Waiter:
+    aid: Any
+    kind: str
+    future: Future
+    subaction: int
+
+
+class LockManager:
+    """Grants read/write locks on a single group's objects."""
+
+    def __init__(self, store: ObjectStore):
+        self.store = store
+        self._wait_queues: Dict[str, List[_Waiter]] = {}
+
+    # -- acquisition -----------------------------------------------------------
+
+    def acquire(self, uid: str, aid: Any, kind: str, subaction: int = 0) -> Future:
+        """Request a lock; the future resolves when the lock is granted.
+
+        If the lock is free (or compatible, or an immediate upgrade), the
+        future is already resolved on return, so uncontended transactions
+        never yield to the scheduler for locking.
+        """
+        if kind not in (READ, WRITE):
+            raise ValueError(f"unknown lock kind {kind!r}")
+        future = Future(label=f"lock:{uid}:{aid}:{kind}")
+        obj = self.store.ensure(uid)
+        queue = self._wait_queues.get(uid, [])
+        # FIFO fairness: a new request must not overtake waiting conflicting
+        # requests, or writers starve.  A request only bypasses the queue if
+        # the queue is empty or the request is a re-entrant/upgrade claim.
+        if self._grantable(obj, aid, kind) and (not queue or aid in obj.lockers):
+            self._grant(obj, aid, kind)
+            future.set_result(None)
+            return future
+        self._wait_queues.setdefault(uid, []).append(
+            _Waiter(aid=aid, kind=kind, future=future, subaction=subaction)
+        )
+        return future
+
+    def _grantable(self, obj, aid: Any, kind: str) -> bool:
+        holders = obj.lockers
+        if aid in holders:
+            current = holders[aid]
+            if kind == READ or current.kind == WRITE:
+                return True  # re-entrant
+            # upgrade READ -> WRITE: sole reader only
+            return all(other == aid for other in holders)
+        if not holders:
+            return True
+        if kind == READ:
+            return all(info.kind == READ for info in holders.values())
+        return False
+
+    def _grant(self, obj, aid: Any, kind: str) -> None:
+        info = obj.lockers.get(aid)
+        if info is None:
+            obj.lockers[aid] = LockInfo(kind=kind)
+        elif kind == WRITE and info.kind == READ:
+            info.kind = WRITE
+
+    def _pump(self, uid: str) -> None:
+        """Grant the longest compatible prefix of the wait queue."""
+        queue = self._wait_queues.get(uid)
+        if not queue:
+            return
+        obj = self.store.ensure(uid)
+        granted_any = True
+        while granted_any and queue:
+            granted_any = False
+            head = queue[0]
+            if self._grantable(obj, head.aid, head.kind):
+                queue.pop(0)
+                self._grant(obj, head.aid, head.kind)
+                head.future.set_result(None)
+                granted_any = True
+        if not queue:
+            del self._wait_queues[uid]
+
+    # -- write-through ---------------------------------------------------------
+
+    def record_write(self, uid: str, aid: Any, value: Any, subaction: int = 0) -> None:
+        """Record a tentative version.  Caller must hold the write lock."""
+        obj = self.store.get(uid)
+        info = obj.lockers.get(aid)
+        if info is None or info.kind != WRITE:
+            raise ValueError(f"{aid} does not hold a write lock on {uid!r}")
+        info.writes.append(TentativeWrite(subaction=subaction, value=value))
+
+    def read_value(self, uid: str, aid: Any) -> Any:
+        """Read through tentative versions.  Caller must hold a lock."""
+        obj = self.store.get(uid)
+        if aid not in obj.lockers:
+            raise ValueError(f"{aid} does not hold a lock on {uid!r}")
+        return obj.value_for(aid)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def release_reads(self, aid: Any) -> None:
+        """Drop pure read locks at prepare time (Figure 3)."""
+        for uid in list(self.store.uids()):
+            obj = self.store.get(uid)
+            info = obj.lockers.get(aid)
+            if info is not None and info.kind == READ:
+                del obj.lockers[aid]
+                self._pump(uid)
+
+    def install(self, aid: Any) -> list[str]:
+        """Commit: tentative versions become base; locks released.
+
+        Returns the uids whose base version changed.
+        """
+        changed = []
+        for uid in list(self.store.uids()):
+            obj = self.store.get(uid)
+            info = obj.lockers.pop(aid, None)
+            if info is None:
+                continue
+            if info.writes:
+                obj.base = info.tentative_value()
+                obj.version += 1
+                changed.append(uid)
+            self._pump(uid)
+        return changed
+
+    def discard(self, aid: Any) -> None:
+        """Abort: drop locks and tentative versions.
+
+        Pending requests are withdrawn *before* held locks are released --
+        otherwise pumping the queue could re-grant the aborted
+        transaction's own queued request.
+        """
+        self.cancel_waits(aid)
+        for uid in list(self.store.uids()):
+            obj = self.store.get(uid)
+            if obj.lockers.pop(aid, None) is not None:
+                self._pump(uid)
+
+    def discard_subaction(self, aid: Any, subaction: int) -> None:
+        """Abort one subaction: drop its tentative writes only (section 3.6).
+
+        Locks stay with the transaction (Argus semantics: subactions of one
+        transaction share its lock family), so the retried call can proceed.
+        """
+        for uid in list(self.store.uids()):
+            obj = self.store.get(uid)
+            info = obj.lockers.get(aid)
+            if info is not None:
+                info.drop_subaction(subaction)
+
+    def cancel_waits(self, aid: Any) -> None:
+        """Withdraw pending lock requests (waiter timed out or txn aborted)."""
+        for uid in list(self._wait_queues):
+            queue = self._wait_queues[uid]
+            remaining = []
+            cancelled = False
+            for waiter in queue:
+                if waiter.aid == aid:
+                    waiter.future.cancel()
+                    cancelled = True
+                else:
+                    remaining.append(waiter)
+            if remaining:
+                self._wait_queues[uid] = remaining
+            else:
+                del self._wait_queues[uid]
+            if cancelled:
+                self._pump(uid)
+
+    def holders_of(self, uid: str) -> Dict[Any, str]:
+        obj = self.store.ensure(uid)
+        return {aid: info.kind for aid, info in obj.lockers.items()}
+
+    def locks_held_by(self, aid: Any) -> Dict[str, str]:
+        held = {}
+        for uid in self.store.uids():
+            info = self.store.get(uid).lockers.get(aid)
+            if info is not None:
+                held[uid] = info.kind
+        return held
+
+    def reset(self) -> None:
+        """Drop all lock state (used when installing a newview gstate)."""
+        self.store.clear_locks()
+        for queue in self._wait_queues.values():
+            for waiter in queue:
+                waiter.future.cancel()
+        self._wait_queues.clear()

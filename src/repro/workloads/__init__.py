@@ -1,0 +1,48 @@
+"""Workload generators and failure schedules for experiments and chaos tests."""
+
+from repro.workloads.airline import AirlineSpec, book_trip_program
+from repro.workloads.bank import (
+    BankAccountsSpec,
+    audit_program,
+    cross_bank_transfer_program,
+    deposit_program,
+    transfer_program,
+)
+from repro.workloads.kv import KVStoreSpec, read_program, update_program, write_program
+from repro.workloads.loadgen import ClosedLoopStats, run_closed_loop
+from repro.workloads.orders import (
+    InventorySpec,
+    OrderLogSpec,
+    PaymentsSpec,
+    check_order_invariants,
+    place_order_program,
+)
+from repro.workloads.schedules import (
+    CrashRecoverySchedule,
+    PartitionSchedule,
+    kill_primary_every,
+)
+
+__all__ = [
+    "AirlineSpec",
+    "BankAccountsSpec",
+    "ClosedLoopStats",
+    "CrashRecoverySchedule",
+    "InventorySpec",
+    "KVStoreSpec",
+    "OrderLogSpec",
+    "PaymentsSpec",
+    "PartitionSchedule",
+    "audit_program",
+    "book_trip_program",
+    "check_order_invariants",
+    "cross_bank_transfer_program",
+    "deposit_program",
+    "kill_primary_every",
+    "place_order_program",
+    "read_program",
+    "run_closed_loop",
+    "transfer_program",
+    "update_program",
+    "write_program",
+]

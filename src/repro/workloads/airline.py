@@ -1,0 +1,83 @@
+"""Airline reservation workload -- the paper's motivating example.
+
+"Availability is essential to many computer-based services; for example,
+in airline reservation systems the failure of a single computer can
+prevent ticket sales for a considerable time, causing a loss of revenue
+and passenger goodwill." (section 1)
+
+Invariants checked by tests and the chaos experiments:
+
+- a flight is never oversold: ``seats_left >= 0`` always;
+- seats are conserved: ``seats_left + booked == capacity``.
+"""
+
+from __future__ import annotations
+
+from repro.app.context import TransactionAborted
+from repro.app.module import ModuleSpec, procedure, transaction_program
+
+
+class AirlineSpec(ModuleSpec):
+    """Flights with per-flight seat inventories."""
+
+    def __init__(self, flights=("UA100", "BA200"), capacity: int = 20):
+        self.flights = tuple(flights)
+        self.capacity = capacity
+
+    def initial_objects(self):
+        objects = {}
+        for flight in self.flights:
+            objects[f"{flight}:left"] = self.capacity
+            objects[f"{flight}:booked"] = 0
+        return objects
+
+    @procedure
+    def reserve(self, ctx, flight, seats):
+        left = yield ctx.read_for_update(f"{flight}:left")
+        if left < seats:
+            raise TransactionAborted(f"{flight} sold out ({left} < {seats})")
+        booked = yield ctx.read_for_update(f"{flight}:booked")
+        yield ctx.write(f"{flight}:left", left - seats)
+        yield ctx.write(f"{flight}:booked", booked + seats)
+        return left - seats
+
+    @procedure
+    def cancel(self, ctx, flight, seats):
+        booked = yield ctx.read_for_update(f"{flight}:booked")
+        if booked < seats:
+            raise TransactionAborted(f"{flight}: cannot cancel {seats} of {booked}")
+        left = yield ctx.read_for_update(f"{flight}:left")
+        yield ctx.write(f"{flight}:booked", booked - seats)
+        yield ctx.write(f"{flight}:left", left + seats)
+        return booked - seats
+
+    @procedure
+    def availability(self, ctx, flight):
+        left = yield ctx.read(f"{flight}:left")
+        return left
+
+
+@transaction_program
+def book_trip_program(txn, airline_group, flight, seats):
+    """Reserve seats on one flight."""
+    left = yield txn.call(airline_group, "reserve", flight, seats)
+    return left
+
+
+@transaction_program
+def round_trip_program(txn, airline_group, outbound, inbound, seats):
+    """Reserve both legs atomically -- either both book or neither."""
+    yield txn.call(airline_group, "reserve", outbound, seats)
+    left = yield txn.call(airline_group, "reserve", inbound, seats)
+    return left
+
+
+def check_airline_invariants(group, spec: AirlineSpec) -> None:
+    """Assert no-oversell and seat conservation at the current primary."""
+    for flight in spec.flights:
+        left = group.read_object(f"{flight}:left")
+        booked = group.read_object(f"{flight}:booked")
+        assert left >= 0, f"{flight} oversold: {left}"
+        assert left + booked == spec.capacity, (
+            f"{flight} seats not conserved: {left} + {booked} != {spec.capacity}"
+        )

@@ -1,0 +1,92 @@
+"""Bank workload: transfers with a conservation invariant.
+
+Transfers move money between accounts (within one replicated bank group,
+or across two groups via distributed 2PC); the total balance is invariant
+under any interleaving of committed transfers, which makes this the
+workhorse for safety checks under failure injection.
+"""
+
+from __future__ import annotations
+
+from repro.app.context import TransactionAborted
+from repro.app.module import ModuleSpec, procedure, transaction_program
+
+
+class BankAccountsSpec(ModuleSpec):
+    """A replicated set of accounts."""
+
+    def __init__(self, n_accounts: int = 8, opening_balance: int = 100,
+                 prefix: str = "acct"):
+        self.n_accounts = n_accounts
+        self.opening_balance = opening_balance
+        self.prefix = prefix
+
+    def account(self, index: int) -> str:
+        return f"{self.prefix}{index % self.n_accounts}"
+
+    def accounts(self):
+        return [self.account(i) for i in range(self.n_accounts)]
+
+    def initial_objects(self):
+        return {account: self.opening_balance for account in self.accounts()}
+
+    @procedure
+    def deposit(self, ctx, account, amount):
+        balance = yield ctx.read_for_update(account)
+        yield ctx.write(account, balance + amount)
+        return balance + amount
+
+    @procedure
+    def withdraw(self, ctx, account, amount):
+        balance = yield ctx.read_for_update(account)
+        if balance < amount:
+            raise TransactionAborted(f"insufficient funds in {account}")
+        yield ctx.write(account, balance - amount)
+        return balance - amount
+
+    @procedure
+    def balance(self, ctx, account):
+        value = yield ctx.read(account)
+        return value
+
+    @procedure
+    def total(self, ctx, accounts):
+        total = 0
+        for account in accounts:
+            value = yield ctx.read(account)
+            total += value
+        return total
+
+
+@transaction_program
+def transfer_program(txn, group, src, dst, amount):
+    """Move money between two accounts of one bank group."""
+    yield txn.call(group, "withdraw", src, amount)
+    result = yield txn.call(group, "deposit", dst, amount)
+    return result
+
+
+@transaction_program
+def cross_bank_transfer_program(txn, src_group, src, dst_group, dst, amount):
+    """Distributed transfer: two participant groups under one 2PC."""
+    yield txn.call(src_group, "withdraw", src, amount)
+    result = yield txn.call(dst_group, "deposit", dst, amount)
+    return result
+
+
+@transaction_program
+def deposit_program(txn, group, account, amount):
+    result = yield txn.call(group, "deposit", account, amount)
+    return result
+
+
+@transaction_program
+def audit_program(txn, group, accounts):
+    """Read-only transaction summing balances (read-only 2PC path)."""
+    total = yield txn.call(group, "total", list(accounts))
+    return total
+
+
+def total_balance(bank_group, spec: BankAccountsSpec) -> int:
+    """Oracle total over the current primary's committed state."""
+    return sum(bank_group.read_object(account) for account in spec.accounts())

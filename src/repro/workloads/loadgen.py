@@ -1,0 +1,97 @@
+"""Closed-loop load generation over workload drivers."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Iterable, List, Optional, Tuple
+
+from repro.sim.process import spawn
+
+
+@dataclasses.dataclass
+class ClosedLoopStats:
+    """Outcome accounting for one closed-loop run."""
+
+    committed: int = 0
+    aborted: int = 0
+    unknown: int = 0
+    latencies: List[float] = dataclasses.field(default_factory=list)
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def submitted(self) -> int:
+        return self.committed + self.aborted + self.unknown
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.latencies:
+            return math.nan
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def p99_latency(self) -> float:
+        if not self.latencies:
+            return math.nan
+        ordered = sorted(self.latencies)
+        return ordered[max(0, math.ceil(len(ordered) * 0.99) - 1)]
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def throughput(self) -> float:
+        if self.duration <= 0:
+            return math.nan
+        return self.committed / self.duration
+
+    @property
+    def abort_rate(self) -> float:
+        if self.submitted == 0:
+            return math.nan
+        return self.aborted / self.submitted
+
+
+def run_closed_loop(
+    runtime,
+    driver,
+    groupid: str,
+    jobs: Iterable[Tuple[str, tuple]],
+    concurrency: int = 1,
+    think_time: float = 0.0,
+    stats: Optional[ClosedLoopStats] = None,
+) -> ClosedLoopStats:
+    """Issue *jobs* ((program, args) pairs) through *driver*, closed-loop.
+
+    Spawns *concurrency* worker processes that each take the next job when
+    their previous transaction resolves.  Returns the stats object, which
+    fills in as the simulation runs (call ``runtime.run_for(...)`` after).
+    """
+    if stats is None:
+        stats = ClosedLoopStats()
+    stats.started_at = runtime.sim.now
+    job_iter = iter(list(jobs))
+    sim = runtime.sim
+
+    def worker():
+        from repro.sim.process import sleep
+
+        for program, args in job_iter:
+            submitted_at = sim.now
+            outcome, _result = yield driver.submit(groupid, program, *args)
+            stats.latencies.append(sim.now - submitted_at)
+            if outcome == "committed":
+                stats.committed += 1
+            elif outcome == "aborted":
+                stats.aborted += 1
+            else:
+                stats.unknown += 1
+            stats.finished_at = sim.now
+            if think_time > 0:
+                yield sleep(think_time)
+
+    for index in range(concurrency):
+        spawn(sim, worker(), name=f"loadgen-{index}")
+    return stats

@@ -1,0 +1,132 @@
+"""Order-entry workload: three replicated services under one transaction.
+
+A placed order spans three module groups -- inventory, payments, and the
+order ledger -- so every order is a three-participant distributed
+transaction.  Either the stock is reserved *and* the customer charged
+*and* the order recorded, or none of it happened.  Invariants:
+
+- stock conservation: ``stock_left + units_sold == initial_stock``;
+- money conservation: customer balances + merchant revenue is constant;
+- books match: ``units_sold`` equals the units recorded in the order log,
+  and revenue equals the sum of recorded order prices.
+"""
+
+from __future__ import annotations
+
+from repro.app.context import TransactionAborted
+from repro.app.module import ModuleSpec, procedure, transaction_program
+
+
+class InventorySpec(ModuleSpec):
+    """Items with stock counts."""
+
+    def __init__(self, items=("widget", "gadget"), stock: int = 50):
+        self.items = tuple(items)
+        self.stock = stock
+
+    def initial_objects(self):
+        objects = {}
+        for item in self.items:
+            objects[f"{item}:stock"] = self.stock
+            objects[f"{item}:sold"] = 0
+        return objects
+
+    @procedure
+    def reserve(self, ctx, item, quantity):
+        stock = yield ctx.read_for_update(f"{item}:stock")
+        if stock < quantity:
+            raise TransactionAborted(f"{item} out of stock ({stock} < {quantity})")
+        sold = yield ctx.read_for_update(f"{item}:sold")
+        yield ctx.write(f"{item}:stock", stock - quantity)
+        yield ctx.write(f"{item}:sold", sold + quantity)
+        return stock - quantity
+
+    @procedure
+    def stock_left(self, ctx, item):
+        value = yield ctx.read(f"{item}:stock")
+        return value
+
+
+class PaymentsSpec(ModuleSpec):
+    """Customer balances plus the merchant's revenue account."""
+
+    def __init__(self, customers=("alice", "bob"), balance: int = 500):
+        self.customers = tuple(customers)
+        self.balance = balance
+
+    def initial_objects(self):
+        objects = {customer: self.balance for customer in self.customers}
+        objects["merchant:revenue"] = 0
+        return objects
+
+    @procedure
+    def charge(self, ctx, customer, amount):
+        balance = yield ctx.read_for_update(customer)
+        if balance < amount:
+            raise TransactionAborted(f"{customer} cannot pay {amount}")
+        revenue = yield ctx.read_for_update("merchant:revenue")
+        yield ctx.write(customer, balance - amount)
+        yield ctx.write("merchant:revenue", revenue + amount)
+        return balance - amount
+
+
+class OrderLogSpec(ModuleSpec):
+    """An append-style order ledger (one object per order slot)."""
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = capacity
+
+    def initial_objects(self):
+        return {"order_count": 0}
+
+    @procedure
+    def record(self, ctx, customer, item, quantity, price):
+        count = yield ctx.read_for_update("order_count")
+        yield ctx.write("order_count", count + 1)
+        yield ctx.write(
+            f"order:{count}",
+            {"customer": customer, "item": item, "quantity": quantity,
+             "price": price},
+        )
+        return count
+
+
+@transaction_program
+def place_order_program(txn, customer, item, quantity, unit_price):
+    """Reserve stock, charge the customer, record the order -- atomically."""
+    price = quantity * unit_price
+    yield txn.call("inventory", "reserve", item, quantity)
+    yield txn.call("payments", "charge", customer, price)
+    order_id = yield txn.call("orders", "record", customer, item, quantity, price)
+    return order_id
+
+
+def check_order_invariants(inventory_group, payments_group, orders_group,
+                           inventory_spec: InventorySpec,
+                           payments_spec: PaymentsSpec) -> None:
+    """Assert the three-way books balance at the current primaries."""
+    total_sold = 0
+    for item in inventory_spec.items:
+        stock = inventory_group.read_object(f"{item}:stock")
+        sold = inventory_group.read_object(f"{item}:sold")
+        assert stock >= 0, f"{item} oversold"
+        assert stock + sold == inventory_spec.stock, f"{item} not conserved"
+        total_sold += sold
+
+    balances = sum(
+        payments_group.read_object(customer)
+        for customer in payments_spec.customers
+    )
+    revenue = payments_group.read_object("merchant:revenue")
+    opening = payments_spec.balance * len(payments_spec.customers)
+    assert balances + revenue == opening, "money not conserved"
+
+    count = orders_group.read_object("order_count")
+    recorded_units = 0
+    recorded_value = 0
+    for index in range(count):
+        order = orders_group.read_object(f"order:{index}")
+        recorded_units += order["quantity"]
+        recorded_value += order["price"]
+    assert recorded_units == total_sold, "order log disagrees with inventory"
+    assert recorded_value == revenue, "order log disagrees with revenue"

@@ -1,0 +1,140 @@
+"""Failure schedules: crash/recover churn and partitions, seeded.
+
+Used by the availability experiments (E6), the view-change-loss
+experiments (E7), and the chaos integration tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.sim.process import sleep, spawn
+
+
+@dataclasses.dataclass
+class CrashEvent:
+    at: float
+    node_id: str
+    kind: str  # "crash" | "recover"
+
+
+class CrashRecoverySchedule:
+    """Poisson crash/recover churn over a group's nodes.
+
+    Each node independently fails with exponential MTTF and recovers after
+    exponential MTTR.  ``max_down`` caps simultaneous failures (set it to
+    ``sub_majority`` to keep the group formable, or leave uncapped to allow
+    catastrophes).
+    """
+
+    def __init__(
+        self,
+        runtime,
+        nodes: List,
+        mttf: float,
+        mttr: float,
+        max_down: Optional[int] = None,
+        rng_name: str = "crash-schedule",
+    ):
+        self.runtime = runtime
+        self.nodes = list(nodes)
+        self.mttf = mttf
+        self.mttr = mttr
+        self.max_down = max_down
+        self.rng = runtime.sim.rng.fork(rng_name)
+        self.events: List[CrashEvent] = []
+        self._stopped = False
+
+    def start(self) -> None:
+        for node in self.nodes:
+            spawn(self.runtime.sim, self._churn(node), name=f"churn:{node.node_id}")
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _down_count(self) -> int:
+        return sum(1 for node in self.nodes if not node.up)
+
+    def _churn(self, node):
+        while not self._stopped:
+            yield sleep(self.rng.expovariate(1.0 / self.mttf))
+            if self._stopped:
+                return
+            if self.max_down is not None and self._down_count() >= self.max_down:
+                continue  # hold off; too many already down
+            if not node.up:
+                continue
+            node.crash()
+            self.events.append(
+                CrashEvent(at=self.runtime.sim.now, node_id=node.node_id, kind="crash")
+            )
+            yield sleep(self.rng.expovariate(1.0 / self.mttr))
+            if node.up or self._stopped:
+                continue
+            node.recover()
+            self.events.append(
+                CrashEvent(at=self.runtime.sim.now, node_id=node.node_id, kind="recover")
+            )
+
+
+class PartitionSchedule:
+    """Repeatedly partition a set of nodes into two random blocks and heal."""
+
+    def __init__(
+        self,
+        runtime,
+        node_ids: List[str],
+        mean_healthy: float,
+        mean_partitioned: float,
+        rng_name: str = "partition-schedule",
+    ):
+        self.runtime = runtime
+        self.node_ids = list(node_ids)
+        self.mean_healthy = mean_healthy
+        self.mean_partitioned = mean_partitioned
+        self.rng = runtime.sim.rng.fork(rng_name)
+        self.partitions_formed = 0
+        self._stopped = False
+
+    def start(self) -> None:
+        spawn(self.runtime.sim, self._run(), name="partition-schedule")
+
+    def stop(self) -> None:
+        self._stopped = True
+        self.runtime.network.heal()
+
+    def _run(self):
+        while not self._stopped:
+            yield sleep(self.rng.expovariate(1.0 / self.mean_healthy))
+            if self._stopped:
+                return
+            ids = list(self.node_ids)
+            self.rng.shuffle(ids)
+            cut = self.rng.randint(1, len(ids) - 1)
+            self.runtime.network.partition([set(ids[:cut]), set(ids[cut:])])
+            self.partitions_formed += 1
+            yield sleep(self.rng.expovariate(1.0 / self.mean_partitioned))
+            self.runtime.network.heal()
+
+
+def kill_primary_every(runtime, group, interval: float, count: int,
+                       recover_after: Optional[float] = None):
+    """Crash the group's current primary every *interval*, *count* times.
+
+    With ``recover_after`` set, each victim recovers that much later
+    (otherwise victims stay down, so keep ``count`` below the majority).
+    """
+
+    def run():
+        for _ in range(count):
+            yield sleep(interval)
+            primary = group.active_primary()
+            if primary is None:
+                continue
+            victim = primary.node
+            victim.crash()
+            if recover_after is not None:
+                runtime.sim.schedule(recover_after, victim.recover)
+
+    return spawn(runtime.sim, run(), name=f"kill-primary:{group.groupid}")

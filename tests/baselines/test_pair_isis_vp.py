@@ -1,0 +1,167 @@
+"""Tests for the pair, Isis-like, and virtual-partitions baselines."""
+
+import pytest
+
+from repro import Runtime
+from repro.baselines.isis_like import IsisClient, IsisSystem
+from repro.baselines.pair import PairClient, PairSystem
+from repro.baselines.virtual_partitions import VirtualPartitionsGroup
+
+
+# -- Tandem-style pair ---------------------------------------------------------
+
+
+def build_pair(seed=0):
+    rt = Runtime(seed=seed)
+    system = PairSystem(rt, "pair", {"k": 0})
+    client = PairClient(rt.create_node("pc-node"), rt, "pc", system)
+    return rt, system, client
+
+
+def test_pair_ops_roundtrip():
+    rt, system, client = build_pair()
+    w = client.write("k", 5)
+    rt.run_for(50)
+    assert w.result() == 5
+    r = client.read("k")
+    rt.run_for(50)
+    assert r.result() == 5
+
+
+def test_pair_checkpoint_reaches_backup():
+    rt, system, client = build_pair()
+    client.write("k", 9)
+    rt.run_for(50)
+    assert system.backup.store["k"] == 9
+
+
+def test_pair_backup_takes_over():
+    rt, system, client = build_pair(seed=1)
+    client.add("k", 1)
+    rt.run_for(50)
+    system.primary.node.crash()
+    rt.run_for(100)  # takeover watchdog
+    assert system.backup.is_primary
+    op = client.add("k", 1)
+    rt.run_for(200)
+    assert op.result() == 2
+
+
+def test_pair_dies_at_second_failure():
+    rt, system, client = build_pair(seed=2)
+    system.primary.node.crash()
+    rt.run_for(100)
+    system.backup.node.crash()
+    op = client.add("k", 1)
+    rt.run_for(2000)
+    assert op.done and op.failed
+
+
+def test_pair_read_survives_one_failure():
+    rt, system, client = build_pair(seed=3)
+    client.write("k", 7)
+    rt.run_for(50)
+    system.primary.node.crash()
+    rt.run_for(100)
+    r = client.read("k")
+    rt.run_for(200)
+    assert r.result() == 7  # the checkpointed state survived
+
+
+# -- Isis-like piggybacking -----------------------------------------------------
+
+
+def build_isis(n=3, seed=0):
+    rt = Runtime(seed=seed)
+    system = IsisSystem(rt, "isis", n, {"a": 0, "b": 0})
+    client = IsisClient(rt.create_node("ic-node"), rt, "ic", system)
+    return rt, system, client
+
+
+def test_isis_ops_apply_everywhere():
+    rt, system, client = build_isis()
+    client.write("a", 3)
+    rt.run_for(100)
+    for cohort in system.cohorts:
+        assert cohort.store["a"] == 3
+
+
+def test_isis_carried_effects_grow_monotonically():
+    rt, system, client = build_isis(seed=1)
+    sizes = []
+    for i in range(4):
+        op = client.add("a", 1)
+        rt.run_for(100)
+        assert op.result() == i + 1
+        sizes.append(client.carried_bytes)
+    assert sizes == sorted(sizes)
+    assert sizes[-1] > sizes[0]
+
+
+def test_isis_reads_can_go_to_any_cohort():
+    rt, system, client = build_isis(seed=2)
+    client.write("b", 8)
+    rt.run_for(100)
+    results = []
+    for _ in range(6):
+        op = client.read("b")
+        rt.run_for(50)
+        results.append(op.result())
+    assert all(value == 8 for value in results)
+
+
+def test_isis_piggyback_rides_on_requests():
+    rt, system, client = build_isis(seed=3)
+    client.write("a", 1)
+    rt.run_for(100)
+    first_req_bytes = rt.metrics.bytes_sent["IsisCallReq"]
+    client.write("b", 2)
+    rt.run_for(100)
+    second_total = rt.metrics.bytes_sent["IsisCallReq"]
+    # The second request carried the first write's effect.
+    assert second_total - first_req_bytes > first_req_bytes
+
+
+# -- virtual partitions -----------------------------------------------------------
+
+
+def test_vp_view_change_completes():
+    rt = Runtime(seed=0)
+    vp = VirtualPartitionsGroup(rt, "vp", 3)
+    future = vp.trigger_view_change()
+    rt.run_for(200)
+    assert future.done
+    assert future.result() > 0
+
+
+def test_vp_message_complexity_quadratic():
+    counts = {}
+    for n in (3, 5, 7):
+        rt = Runtime(seed=0)
+        vp = VirtualPartitionsGroup(rt, "vp", n)
+        future = vp.trigger_view_change()
+        rt.run_for(500)
+        assert future.done
+        counts[n] = vp.message_count()
+    # invites/accepts/newview/acks are 4(n-1); exchange is n(n-1).
+    for n in (3, 5, 7):
+        assert counts[n] == 4 * (n - 1) + n * (n - 1)
+
+
+def test_vp_three_phases_on_the_wire():
+    rt = Runtime(seed=0)
+    vp = VirtualPartitionsGroup(rt, "vp", 3)
+    vp.trigger_view_change()
+    rt.run_for(500)
+    for msg_type in ("VPInvite", "VPAccept", "VPNewView", "VPNewViewAck",
+                     "VPStateExchange"):
+        assert rt.metrics.messages_sent.get(msg_type, 0) > 0
+
+
+def test_vp_excludes_dead_cohort():
+    rt = Runtime(seed=0)
+    vp = VirtualPartitionsGroup(rt, "vp", 3)
+    vp.cohorts[2].node.crash()
+    future = vp.trigger_view_change()
+    rt.run_for(500)
+    assert future.done  # completes among the live members

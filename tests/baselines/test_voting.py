@@ -1,0 +1,115 @@
+"""Tests for the quorum-voting baseline (Gifford-style)."""
+
+import pytest
+
+from repro import Runtime
+from repro.baselines.voting import VotingClient, VotingSystem
+from repro.sim.process import spawn
+
+
+def build(n=3, r=1, w=3, seed=0):
+    rt = Runtime(seed=seed)
+    system = VotingSystem(rt, "vote", n, {"x": 0, "y": 10})
+    client = VotingClient(
+        rt.create_node("vc-node"), rt, "vc", system, read_quorum=r, write_quorum=w
+    )
+    return rt, system, client
+
+
+def test_quorum_validation():
+    rt = Runtime(seed=1)
+    system = VotingSystem(rt, "vote", 3, {})
+    node = rt.create_node("bad-client")
+    with pytest.raises(ValueError):
+        VotingClient(node, rt, "bad1", system, read_quorum=1, write_quorum=2)
+    with pytest.raises(ValueError):
+        VotingClient(node, rt, "bad2", system, read_quorum=3, write_quorum=1)
+
+
+def test_write_then_read():
+    rt, system, client = build()
+    w = client.write("x", 42)
+    rt.run_for(50)
+    assert w.result() == 1  # new version number
+    r = client.read("x")
+    rt.run_for(50)
+    assert r.result() == 42
+
+
+def test_versions_increase_monotonically():
+    rt, system, client = build()
+    versions = []
+    for value in (1, 2, 3):
+        w = client.write("x", value)
+        rt.run_for(50)
+        versions.append(w.result())
+    assert versions == [1, 2, 3]
+    assert system.read_value("x") == 3
+
+
+def test_read_one_sees_latest_after_write_all():
+    """r=1, w=n: any single replica has the latest version."""
+    rt, system, client = build(r=1, w=3)
+    client.write("x", 9)
+    rt.run_for(50)
+    for _ in range(5):
+        r = client.read("x")
+        rt.run_for(50)
+        assert r.result() == 9
+
+
+def test_majority_quorums_intersect():
+    rt, system, client = build(r=2, w=2, seed=5)
+    client.write("x", 7)
+    rt.run_for(50)
+    for _ in range(5):
+        r = client.read("x")
+        rt.run_for(50)
+        assert r.result() == 7  # version-max over any read quorum finds it
+
+
+def test_write_all_blocks_when_replica_down():
+    rt, system, client = build(r=1, w=3, seed=2)
+    system.replicas[2].node.crash()
+    w = client.write("x", 1)
+    rt.run_for(2000)
+    assert w.done and w.failed  # quorum unavailable
+
+
+def test_majority_write_survives_one_crash():
+    rt, system, client = build(r=2, w=2, seed=3)
+    system.replicas[0].node.crash()
+    w = client.write("x", 5)
+    rt.run_for(2000)
+    assert w.done and not w.failed
+
+
+def test_concurrent_writers_serialize_via_locks():
+    rt, system, _ = build(r=2, w=2, seed=4)
+    client2 = VotingClient(
+        rt.create_node("vc2-node"), rt, "vc2", system, read_quorum=2, write_quorum=2
+    )
+    client1 = VotingClient(
+        rt.create_node("vc1-node"), rt, "vc1", system, read_quorum=2, write_quorum=2
+    )
+    w1 = client1.write("x", 100)
+    w2 = client2.write("x", 200)
+    rt.run_for(3000)
+    done = [w for w in (w1, w2) if w.done and not w.failed]
+    assert done  # at least one completed
+    # The final value corresponds to the highest version written.
+    final = system.read_value("x")
+    assert final in (100, 200)
+
+
+def test_message_cost_scales_with_quorum():
+    rt1, _s1, c1 = build(r=1, w=3, seed=6)
+    c1.write("x", 1)
+    rt1.run_for(100)
+    write_all_msgs = rt1.metrics.total_sent()
+
+    rt2, _s2, c2 = build(r=2, w=2, seed=6)
+    c2.write("x", 1)
+    rt2.run_for(100)
+    majority_msgs = rt2.metrics.total_sent()
+    assert write_all_msgs > majority_msgs  # 2 rounds x quorum size

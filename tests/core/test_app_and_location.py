@@ -1,0 +1,168 @@
+"""Tests for the module programming model, location service, and runtime."""
+
+import pytest
+
+from repro import EmptyModule, ModuleSpec, Runtime, procedure, transaction_program
+from repro.location.service import LocationService
+from repro.net.messages import estimate_size
+
+
+# -- ModuleSpec ------------------------------------------------------------
+
+
+class Sample(ModuleSpec):
+    def initial_objects(self):
+        return {"x": 1}
+
+    @procedure
+    def get_x(self, ctx):
+        value = yield ctx.read("x")
+        return value
+
+    def not_a_procedure(self):
+        return None
+
+
+def test_procedures_discovered():
+    spec = Sample()
+    assert set(spec.procedures()) == {"get_x"}
+
+
+def test_procedure_named_rejects_non_procedures():
+    spec = Sample()
+    with pytest.raises(KeyError):
+        spec.procedure_named("not_a_procedure")
+    with pytest.raises(KeyError):
+        spec.procedure_named("missing")
+
+
+def test_register_program_and_lookup():
+    spec = EmptyModule()
+
+    @transaction_program
+    def prog(txn):
+        return "ok"
+        yield
+
+    spec.register_program("prog", prog)
+    assert spec.transaction_program("prog") is prog
+    with pytest.raises(KeyError):
+        spec.transaction_program("nope")
+
+
+def test_transaction_program_decorator_subactions_flag():
+    @transaction_program(subactions=True)
+    def nested(txn):
+        yield
+
+    @transaction_program
+    def flat(txn):
+        yield
+
+    assert nested._vr_subactions is True
+    assert flat._vr_subactions is False
+
+
+def test_method_programs_found():
+    class WithProgram(ModuleSpec):
+        @transaction_program
+        def do_it(self, txn):
+            yield
+
+    spec = WithProgram()
+    assert spec.transaction_program("do_it")
+
+
+# -- location service ------------------------------------------------------------
+
+
+def test_location_register_lookup():
+    location = LocationService()
+    location.register("g", ((0, "g/0"), (1, "g/1")))
+    assert location.lookup("g") == ((0, "g/0"), (1, "g/1"))
+    assert "g" in location
+    assert location.groups() == ("g",)
+
+
+def test_location_duplicate_rejected():
+    location = LocationService()
+    location.register("g", ())
+    with pytest.raises(ValueError):
+        location.register("g", ())
+
+
+def test_location_unknown_raises():
+    location = LocationService()
+    with pytest.raises(KeyError):
+        location.lookup("missing")
+
+
+# -- runtime ------------------------------------------------------------------------
+
+
+def test_runtime_duplicate_node_rejected():
+    rt = Runtime(seed=0)
+    rt.create_node("n1")
+    with pytest.raises(ValueError):
+        rt.create_node("n1")
+
+
+def test_runtime_group_registers_location():
+    rt = Runtime(seed=0)
+    rt.create_group("g", EmptyModule(), n_cohorts=3)
+    assert len(rt.location.lookup("g")) == 3
+
+
+def test_runtime_empty_group_rejected():
+    rt = Runtime(seed=0)
+    with pytest.raises(ValueError):
+        rt.create_group("g", EmptyModule(), n_cohorts=1, nodes=[])
+
+
+def test_runtime_run_for_advances_clock():
+    rt = Runtime(seed=0)
+    rt.run_for(100.0)
+    assert rt.sim.now == 100.0
+    rt.run_for(50.0)
+    assert rt.sim.now == 150.0
+
+
+# -- size estimation -----------------------------------------------------------------
+
+
+def test_estimate_size_primitives():
+    assert estimate_size(None) == 1
+    assert estimate_size(True) == 1
+    assert estimate_size(7) == 8
+    assert estimate_size(1.5) == 8
+    assert estimate_size("abcd") == 4
+    assert estimate_size(b"abc") == 3
+
+
+def test_estimate_size_containers():
+    assert estimate_size([1, 2]) == 4 + 16
+    assert estimate_size({"a": 1}) == 4 + 1 + 8
+
+
+def test_estimate_size_dataclass():
+    import dataclasses
+
+    @dataclasses.dataclass
+    class Point:
+        x: int
+        y: int
+
+    assert estimate_size(Point(1, 2)) == 16
+
+
+def test_message_byte_size_includes_header():
+    import dataclasses
+
+    from repro.net.messages import Message
+
+    @dataclasses.dataclass
+    class Tiny(Message):
+        n: int = 0
+
+    assert Tiny().byte_size() == 32 + 8
+    assert Tiny().msg_type == "Tiny"

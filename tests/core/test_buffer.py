@@ -1,0 +1,234 @@
+"""Tests for the communication buffer: add, force_to, acks, trimming."""
+
+import pytest
+
+from repro.core.buffer import CommunicationBuffer, ForceAbandoned
+from repro.core.events import Aborted
+from repro.core.messages import BufferAckMsg, BufferMsg
+from repro.core.viewstamp import ViewId, Viewstamp
+from repro.sim.kernel import Simulator
+from repro.txn.ids import Aid
+
+VID = ViewId(2, 0)
+OLD_VID = ViewId(1, 0)
+
+
+def record(n=0):
+    return Aborted(aid=Aid("g", VID, n))
+
+
+class Harness:
+    """Captures sends and drives timers for one buffer under test."""
+
+    def __init__(self, backups=(1, 2), config_size=3, force_timeout=50.0):
+        self.sim = Simulator()
+        self.sent = []  # (mid, message)
+        self.force_failures = 0
+        self.buffer = CommunicationBuffer(
+            viewid=VID,
+            backups=backups,
+            configuration_size=config_size,
+            send=lambda mid, message: self.sent.append((mid, message)),
+            set_timer=lambda delay, fn, *a: self.sim.schedule(delay, fn, *a),
+            on_force_failure=self._on_failure,
+            force_timeout=force_timeout,
+        )
+
+    def _on_failure(self):
+        self.force_failures += 1
+
+    def ack(self, mid, ts):
+        self.buffer.on_ack(BufferAckMsg(viewid=VID, acked_ts=ts, mid=mid))
+
+
+def test_add_assigns_increasing_timestamps():
+    h = Harness()
+    assert h.buffer.add(record()) == Viewstamp(VID, 1)
+    assert h.buffer.add(record()) == Viewstamp(VID, 2)
+    assert h.buffer.timestamp == 2
+
+
+def test_force_old_view_returns_immediately():
+    """"If the viewstamp is not for the current view it returns immediately.""" ""
+    h = Harness()
+    force = h.buffer.force_to(Viewstamp(OLD_VID, 99))
+    assert force.done and force.exception() is None
+
+
+def test_force_none_returns_immediately():
+    h = Harness()
+    assert h.buffer.force_to(None).done
+
+
+def test_force_waits_for_sub_majority():
+    h = Harness()  # config 3 -> sub-majority 1
+    vs = h.buffer.add(record())
+    force = h.buffer.force_to(vs)
+    assert not force.done
+    h.ack(1, 1)
+    assert force.done
+
+
+def test_force_already_satisfied_is_immediate():
+    h = Harness()
+    vs = h.buffer.add(record())
+    h.buffer.flush()
+    h.ack(1, 1)
+    assert h.buffer.force_to(vs).done
+
+
+def test_force_five_cohort_group_needs_two_backups():
+    h = Harness(backups=(1, 2, 3, 4), config_size=5)  # sub-majority 2
+    vs = h.buffer.add(record())
+    force = h.buffer.force_to(vs)
+    h.ack(1, 1)
+    assert not force.done
+    h.ack(2, 1)
+    assert force.done
+
+
+def test_single_cohort_group_forces_trivially():
+    h = Harness(backups=(), config_size=1)
+    vs = h.buffer.add(record())
+    assert h.buffer.force_to(vs).done
+
+
+def test_force_triggers_immediate_flush():
+    h = Harness()
+    vs = h.buffer.add(record())
+    assert h.sent == []
+    h.buffer.force_to(vs)
+    assert len(h.sent) == 2  # one BufferMsg per backup
+    assert all(isinstance(message, BufferMsg) for _mid, message in h.sent)
+
+
+def test_flush_sends_only_unacked_suffix():
+    h = Harness()
+    h.buffer.add(record(1))
+    h.buffer.add(record(2))
+    h.ack(1, 1)
+    h.sent.clear()
+    h.buffer.flush()
+    for mid, message in h.sent:
+        if mid == 1:
+            assert [ts for ts, _r in message.records] == [2]
+        else:
+            assert [ts for ts, _r in message.records] == [1, 2]
+
+
+def test_flush_skips_fully_acked_backup():
+    h = Harness()
+    h.buffer.add(record())
+    h.ack(1, 1)
+    h.sent.clear()
+    h.buffer.flush()
+    assert {mid for mid, _m in h.sent} == {2}
+
+
+def test_force_timeout_fails_and_signals():
+    h = Harness(force_timeout=10.0)
+    vs = h.buffer.add(record())
+    force = h.buffer.force_to(vs)
+    h.sim.run()
+    assert h.force_failures == 1
+    assert isinstance(force.exception(), ForceAbandoned)
+
+
+def test_ack_cancels_force_timeout():
+    h = Harness(force_timeout=10.0)
+    vs = h.buffer.add(record())
+    force = h.buffer.force_to(vs)
+    h.ack(1, 1)
+    h.sim.run()
+    assert h.force_failures == 0
+    assert force.done and force.exception() is None
+
+
+def test_stale_ack_ignored():
+    h = Harness()
+    h.buffer.add(record())
+    h.buffer.on_ack(BufferAckMsg(viewid=OLD_VID, acked_ts=1, mid=1))
+    assert h.buffer.acked[1] == 0
+
+
+def test_ack_from_stranger_ignored():
+    h = Harness()
+    h.buffer.add(record())
+    h.buffer.on_ack(BufferAckMsg(viewid=VID, acked_ts=1, mid=99))
+    assert 99 not in h.buffer.acked
+
+
+def test_ack_regression_ignored():
+    h = Harness()
+    h.buffer.add(record(1))
+    h.buffer.add(record(2))
+    h.ack(1, 2)
+    h.ack(1, 1)
+    assert h.buffer.acked[1] == 2
+
+
+def test_close_fails_pending_forces():
+    h = Harness()
+    vs = h.buffer.add(record())
+    force = h.buffer.force_to(vs)
+    h.buffer.close()
+    assert isinstance(force.exception(), ForceAbandoned)
+
+
+def test_closed_buffer_rejects_add_and_force():
+    h = Harness()
+    h.buffer.close()
+    with pytest.raises(Exception):
+        h.buffer.add(record())
+    assert isinstance(h.buffer.force_to(Viewstamp(VID, 0)).exception(), ForceAbandoned)
+
+
+def test_trim_drops_universally_acked_records():
+    h = Harness()
+    for n in range(5):
+        h.buffer.add(record(n))
+    h.ack(1, 3)
+    h.ack(2, 3)
+    assert h.buffer._base_ts == 3
+    assert [ts for ts, _r in h.buffer._records] == [4, 5]
+    # A later flush still reaches both backups with the suffix.
+    h.sent.clear()
+    h.buffer.flush()
+    for _mid, message in h.sent:
+        assert [ts for ts, _r in message.records] == [4, 5]
+
+
+def test_set_backups_extends_and_shrinks():
+    h = Harness()
+    h.buffer.set_backups((1, 2, 3))
+    assert h.buffer.acked[3] == 0
+    h.buffer.set_backups((1,))
+    assert set(h.buffer.acked) == {1}
+
+
+def test_excluding_slow_backup_can_complete_force():
+    """Unilateral exclusion: removing a dead backup lets a force that only
+    needs a sub-majority complete with the live ones."""
+    h = Harness(backups=(1, 2, 3, 4), config_size=5)  # sub-majority 2
+    vs = h.buffer.add(record())
+    force = h.buffer.force_to(vs)
+    h.ack(1, 1)
+    assert not force.done
+    h.buffer.set_backups((1, 2))
+    h.ack(2, 1)
+    assert force.done
+
+
+def test_force_beyond_generated_raises():
+    h = Harness()
+    with pytest.raises(Exception):
+        h.buffer.force_to(Viewstamp(VID, 5))
+
+
+def test_unforced_count():
+    h = Harness()
+    h.buffer.add(record(1))
+    h.buffer.add(record(2))
+    assert h.buffer.unforced_count == 2
+    h.ack(1, 1)
+    assert h.buffer.unforced_count == 1

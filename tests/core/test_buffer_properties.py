@@ -1,0 +1,93 @@
+"""Property-based tests for the communication buffer's force semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.buffer import CommunicationBuffer
+from repro.core.events import Aborted
+from repro.core.messages import BufferAckMsg
+from repro.core.view import sub_majority
+from repro.core.viewstamp import ViewId, Viewstamp
+from repro.sim.kernel import Simulator
+from repro.txn.ids import Aid
+
+VID = ViewId(2, 0)
+
+
+def build(n_backups, config_size):
+    sim = Simulator()
+    buffer = CommunicationBuffer(
+        viewid=VID,
+        backups=tuple(range(1, n_backups + 1)),
+        configuration_size=config_size,
+        send=lambda mid, message: None,
+        set_timer=lambda delay, fn, *a: sim.schedule(delay, fn, *a),
+        on_force_failure=lambda: None,
+        force_timeout=10_000.0,
+    )
+    return sim, buffer
+
+
+configs = st.sampled_from([(2, 3), (4, 5), (6, 7)])  # (backups, config size)
+
+
+@given(
+    configs,
+    st.integers(1, 20),                               # records added
+    st.lists(st.tuples(st.integers(1, 6), st.integers(0, 25)), max_size=30),
+)
+def test_force_resolves_iff_sub_majority_covers(config, n_records, acks):
+    """A force on ts T is resolved exactly when >= sub_majority backups have
+    cumulatively acked >= T -- under any ack sequence whatsoever."""
+    n_backups, config_size = config
+    sim, buffer = build(n_backups, config_size)
+    for i in range(n_records):
+        buffer.add(Aborted(aid=Aid("g", VID, i)))
+    target = Viewstamp(VID, n_records)
+    force = buffer.force_to(target)
+
+    applied = {}
+    for mid, ts in acks:
+        if mid > n_backups:
+            continue
+        ts = min(ts, n_records)
+        buffer.on_ack(BufferAckMsg(viewid=VID, acked_ts=ts, mid=mid))
+        applied[mid] = max(applied.get(mid, 0), ts)
+        covered = sum(1 for v in applied.values() if v >= n_records)
+        if covered >= sub_majority(config_size):
+            assert force.done and force.exception() is None
+        else:
+            assert not force.done
+
+
+@given(configs, st.lists(st.integers(0, 30), min_size=1, max_size=30))
+def test_acks_never_regress(config, ack_sequence):
+    n_backups, config_size = config
+    _sim, buffer = build(n_backups, config_size)
+    for i in range(30):
+        buffer.add(Aborted(aid=Aid("g", VID, i)))
+    high = 0
+    for ts in ack_sequence:
+        buffer.on_ack(BufferAckMsg(viewid=VID, acked_ts=ts, mid=1))
+        high = max(high, ts)
+        assert buffer.acked[1] == high
+
+
+@given(st.integers(1, 40), st.integers(0, 40))
+def test_trim_preserves_unacked_suffix(n_records, min_ack):
+    sim, buffer = build(2, 3)
+    for i in range(n_records):
+        buffer.add(Aborted(aid=Aid("g", VID, i)))
+    min_ack = min(min_ack, n_records)
+    buffer.on_ack(BufferAckMsg(viewid=VID, acked_ts=min_ack, mid=1))
+    buffer.on_ack(BufferAckMsg(viewid=VID, acked_ts=min_ack, mid=2))
+    retained = [ts for ts, _r in buffer._records]
+    assert retained == list(range(min_ack + 1, n_records + 1))
+
+
+@given(st.integers(1, 25))
+def test_timestamps_dense_and_ordered(n_records):
+    _sim, buffer = build(2, 3)
+    stamps = [buffer.add(Aborted(aid=Aid("g", VID, i))) for i in range(n_records)]
+    assert [vs.ts for vs in stamps] == list(range(1, n_records + 1))
+    assert all(vs.id == VID for vs in stamps)

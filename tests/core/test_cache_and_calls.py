@@ -1,0 +1,199 @@
+"""Tests for the client cache and remote-call machinery."""
+
+import pytest
+
+from repro.core.cache import ClientCache
+from repro.core.calls import CallAborted, RemoteCaller
+from repro.core.messages import (
+    CallFailedMsg,
+    CallMsg,
+    ReplyMsg,
+    ViewChangedMsg,
+    ViewProbeMsg,
+    ViewProbeReplyMsg,
+)
+from repro.core.view import View
+from repro.core.viewstamp import ViewId
+from repro.config import ProtocolConfig
+from repro.sim.kernel import Simulator
+from repro.txn.ids import Aid, CallId
+
+V1 = ViewId(1, 0)
+V2 = ViewId(2, 1)
+VIEW1 = View(primary=0, backups=(1, 2))
+VIEW2 = View(primary=1, backups=(0, 2))
+
+
+# -- cache --------------------------------------------------------------------
+
+
+def test_cache_update_and_get():
+    cache = ClientCache()
+    assert cache.get("g") is None
+    assert cache.update("g", V1, VIEW1, "g/0")
+    entry = cache.get("g")
+    assert entry.viewid == V1
+    assert entry.primary_address == "g/0"
+
+
+def test_cache_only_moves_forward():
+    cache = ClientCache()
+    cache.update("g", V2, VIEW2, "g/1")
+    assert not cache.update("g", V1, VIEW1, "g/0")
+    assert cache.get("g").viewid == V2
+
+
+def test_cache_rejects_partial_updates():
+    cache = ClientCache()
+    assert not cache.update("g", None, VIEW1, "g/0")
+    assert not cache.update("g", V1, None, "g/0")
+    assert not cache.update("g", V1, VIEW1, None)
+    assert cache.get("g") is None
+
+
+def test_cache_invalidate():
+    cache = ClientCache()
+    cache.update("g", V1, VIEW1, "g/0")
+    cache.invalidate("g")
+    assert cache.get("g") is None
+    assert "g" not in cache
+
+
+# -- RemoteCaller against a scripted host ---------------------------------------
+
+
+class FakeHost:
+    """Implements the RemoteCaller host contract with a message log."""
+
+    def __init__(self):
+        self.sim = Simulator()
+        self.address = "client"
+        self.cache = ClientCache()
+        self.config = ProtocolConfig(call_timeout=10.0, call_probes=2)
+        self.sent = []
+        self.members = {"g": ((0, "g/0"), (1, "g/1"), (2, "g/2"))}
+
+    def send(self, destination, message):
+        self.sent.append((destination, message))
+
+    def set_timer(self, delay, fn, *args):
+        return self.sim.schedule(delay, fn, *args)
+
+    def locate(self, groupid):
+        if groupid not in self.members:
+            raise KeyError(groupid)
+        return self.members[groupid]
+
+
+def make_call(host, caller, seq=1):
+    aid = Aid("c", V1, 1)
+    call_id = CallId(aid, seq)
+    future = caller.call(aid, "g", "proc", ("x",), call_id)
+    return call_id, future
+
+
+def test_call_uses_cache_and_sends():
+    host = FakeHost()
+    host.cache.update("g", V1, VIEW1, "g/0")
+    caller = RemoteCaller(host)
+    _call_id, _future = make_call(host, caller)
+    destination, message = host.sent[0]
+    assert destination == "g/0"
+    assert isinstance(message, CallMsg)
+    assert message.viewid == V1
+
+
+def test_call_probes_when_cache_empty():
+    host = FakeHost()
+    caller = RemoteCaller(host)
+    make_call(host, caller)
+    probes = [d for d, m_ in host.sent if isinstance(m_, ViewProbeMsg)]
+    assert set(probes) == {"g/0", "g/1", "g/2"}
+
+
+def test_probe_reply_triggers_send():
+    host = FakeHost()
+    caller = RemoteCaller(host)
+    _call_id, future = make_call(host, caller)
+    caller.on_probe_reply(
+        ViewProbeReplyMsg(groupid="g", viewid=V1, view=VIEW1, active=True)
+    )
+    calls = [(d, m_) for d, m_ in host.sent if isinstance(m_, CallMsg)]
+    assert calls and calls[0][0] == "g/0"
+
+
+def test_reply_resolves_future():
+    host = FakeHost()
+    host.cache.update("g", V1, VIEW1, "g/0")
+    caller = RemoteCaller(host)
+    call_id, future = make_call(host, caller)
+    caller.on_reply(ReplyMsg(call_id=call_id, result=42, pset_pairs=(), piggyback=None))
+    assert future.result()[0] == 42
+
+
+def test_timeout_probes_same_primary_then_fails():
+    host = FakeHost()
+    host.cache.update("g", V1, VIEW1, "g/0")
+    caller = RemoteCaller(host)
+    call_id, future = make_call(host, caller)
+    host.sim.run(until=50.0)
+    call_sends = [d for d, m_ in host.sent if isinstance(m_, CallMsg)]
+    assert call_sends == ["g/0", "g/0"]  # original + one probe (call_probes=2)
+    assert future.done
+    assert isinstance(future.exception(), CallAborted)
+    assert "no reply" in future.exception().reason
+    # The failure refreshed discovery: probes went out for next time.
+    assert any(isinstance(m_, ViewProbeMsg) for _d, m_ in host.sent)
+    assert host.cache.get("g") is None
+
+
+def test_view_changed_rejection_switches_primary():
+    host = FakeHost()
+    host.cache.update("g", V1, VIEW1, "g/0")
+    caller = RemoteCaller(host)
+    call_id, future = make_call(host, caller)
+    caller.on_view_changed(
+        ViewChangedMsg(call_id=call_id, viewid=V2, view=VIEW2, groupid="g")
+    )
+    destinations = [d for d, m_ in host.sent if isinstance(m_, CallMsg)]
+    assert destinations[-1] == "g/1"  # the new primary
+    assert host.cache.get("g").viewid == V2
+
+
+def test_call_failed_propagates():
+    host = FakeHost()
+    host.cache.update("g", V1, VIEW1, "g/0")
+    caller = RemoteCaller(host)
+    call_id, future = make_call(host, caller)
+    caller.on_call_failed(CallFailedMsg(call_id=call_id, reason="kaput"))
+    assert isinstance(future.exception(), CallAborted)
+
+
+def test_abandon_all_fails_outstanding():
+    host = FakeHost()
+    host.cache.update("g", V1, VIEW1, "g/0")
+    caller = RemoteCaller(host)
+    _call_id, f1 = make_call(host, caller, seq=1)
+    _call_id2, f2 = make_call(host, caller, seq=2)
+    caller.abandon_all("leaving active")
+    assert f1.failed and f2.failed
+
+
+def test_unknown_group_fails_fast():
+    host = FakeHost()
+    caller = RemoteCaller(host)
+    aid = Aid("c", V1, 1)
+    future = caller.call(aid, "nowhere", "proc", (), CallId(aid, 1))
+    host.sim.run(until=200.0)
+    assert future.failed
+
+
+def test_late_reply_ignored():
+    host = FakeHost()
+    host.cache.update("g", V1, VIEW1, "g/0")
+    caller = RemoteCaller(host)
+    call_id, future = make_call(host, caller)
+    host.sim.run(until=50.0)  # times out and fails
+    assert future.failed
+    # A very late reply must not blow up or double-resolve.
+    caller.on_reply(ReplyMsg(call_id=call_id, result=1, pset_pairs=(), piggyback=None))

@@ -1,0 +1,114 @@
+"""Tests for protocol message shapes, sizes, and configuration."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import ProtocolConfig
+from repro.core import messages as m
+from repro.core.view import View
+from repro.core.viewstamp import ViewId, Viewstamp
+from repro.storage.stable import StableStoragePolicy
+from repro.txn.ids import Aid, CallId
+from repro.txn.pset import PSet, PSetPair
+
+V1 = ViewId(1, 0)
+AID = Aid("g", V1, 1)
+
+
+def test_all_messages_are_dataclasses_with_types():
+    for name in dir(m):
+        obj = getattr(m, name)
+        if isinstance(obj, type) and name.endswith("Msg"):
+            assert dataclasses.is_dataclass(obj), name
+
+
+def test_message_type_names():
+    call = m.CallMsg(
+        viewid=V1, call_id=CallId(AID, 1), aid=AID, proc="p", args=(),
+        reply_to="x",
+    )
+    assert call.msg_type == "CallMsg"
+    assert call.byte_size() > 32
+
+
+def test_prepare_size_scales_with_pset():
+    small = m.PrepareMsg(aid=AID, pset_pairs=(), coordinator="c")
+    pairs = tuple(
+        PSetPair("g", Viewstamp(V1, i)) for i in range(10)
+    )
+    large = m.PrepareMsg(aid=AID, pset_pairs=pairs, coordinator="c")
+    assert large.byte_size() > small.byte_size()
+
+
+def test_pset_byte_size_small_and_discardable():
+    """The paper's point: psets are a few dozen bytes per call."""
+    pset = PSet()
+    for i in range(3):
+        pset.add("g", Viewstamp(V1, i))
+    assert pset.byte_size() < 100
+
+
+def test_view_byte_size():
+    view = View(primary=0, backups=(1, 2, 3, 4))
+    assert view.byte_size() == 40
+
+
+def test_config_defaults_sane():
+    config = ProtocolConfig()
+    assert config.suspect_timeout() > config.im_alive_interval
+    assert config.force_timeout > config.flush_interval
+    assert config.underling_timeout > config.invite_timeout
+    assert config.storage_policy is StableStoragePolicy.MINIMAL
+    assert config.viewstamp_checks is True
+    assert config.force_on_call is False
+    assert config.unilateral_edits is False
+    assert config.extended_formation_rule is False
+
+
+def test_config_replace_for_ablations():
+    config = dataclasses.replace(ProtocolConfig(), viewstamp_checks=False)
+    assert config.viewstamp_checks is False
+    assert ProtocolConfig().viewstamp_checks is True
+
+
+def test_aid_ordering_and_embedding():
+    a1 = Aid("g", V1, 1)
+    a2 = Aid("g", V1, 2)
+    a3 = Aid("g", ViewId(2, 0), 1)
+    assert a1 < a2 < a3
+    assert a1.groupid == "g"
+    assert a1.viewid == V1
+
+
+def test_call_id_subaction_distinguishes_attempts():
+    first = CallId(AID, 1, subaction=1)
+    retry = CallId(AID, 1, subaction=2)
+    assert first != retry
+    assert str(first) != str(retry)
+
+
+def test_pset_merge_and_participants():
+    a = PSet()
+    a.add("g1", Viewstamp(V1, 1))
+    b = PSet()
+    b.add("g2", Viewstamp(V1, 2))
+    a.merge(b)
+    assert a.participants() == frozenset({"g1", "g2"})
+    assert len(a) == 2
+
+
+def test_pset_set_semantics():
+    pset = PSet()
+    pset.add("g", Viewstamp(V1, 1))
+    pset.add("g", Viewstamp(V1, 1))  # duplicate
+    assert len(pset) == 1
+
+
+def test_pset_copy_independent():
+    pset = PSet()
+    pset.add("g", Viewstamp(V1, 1))
+    clone = pset.copy()
+    clone.add("g", Viewstamp(V1, 2))
+    assert len(pset) == 1
+    assert len(clone) == 2

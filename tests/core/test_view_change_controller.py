@@ -1,0 +1,139 @@
+"""Unit tests for view-change controller edge cases: preemption, stale
+messages, re-acceptance, and concurrent managers end to end."""
+
+import pytest
+
+from repro import Runtime
+from repro.core import messages as m
+from repro.core.cohort import Status
+from repro.core.viewstamp import ViewId
+
+from tests.conftest import CounterSpec, build_counter_system
+
+
+def build(seed=0):
+    rt = Runtime(seed=seed)
+    group = rt.create_group("g", CounterSpec(), n_cohorts=3)
+    return rt, group
+
+
+def test_invite_with_lower_viewid_ignored():
+    rt, group = build()
+    backup = group.cohort(1)
+    backup.max_viewid = ViewId(5, 0)
+    backup.view_change.on_invite(m.InviteMsg(viewid=ViewId(2, 0), manager_mid=0))
+    assert backup.status is Status.ACTIVE  # untouched
+
+
+def test_invite_with_higher_viewid_accepted():
+    rt, group = build()
+    backup = group.cohort(1)
+    backup.view_change.on_invite(m.InviteMsg(viewid=ViewId(9, 0), manager_mid=0))
+    assert backup.status is Status.UNDERLING
+    assert backup.max_viewid == ViewId(9, 0)
+    rt.run_for(10)
+    accepts = rt.metrics.messages_sent.get("AcceptMsg", 0)
+    assert accepts >= 1
+
+
+def test_active_cohort_ignores_equal_viewid_invite():
+    """A late re-invite for the view we already run must not unseat us."""
+    rt, group = build()
+    primary = group.cohort(0)
+    primary.view_change.on_invite(
+        m.InviteMsg(viewid=primary.cur_viewid, manager_mid=1)
+    )
+    assert primary.status is Status.ACTIVE
+
+
+def test_manager_preempted_by_higher_invite():
+    rt, group = build()
+    cohort = group.cohort(1)
+    cohort.view_change.become_manager()
+    assert cohort.status is Status.VIEW_MANAGER
+    proposed = cohort.max_viewid
+    higher = ViewId(proposed.cnt + 5, 0)
+    cohort.view_change.on_invite(m.InviteMsg(viewid=higher, manager_mid=0))
+    assert cohort.status is Status.UNDERLING
+    assert cohort.max_viewid == higher
+
+
+def test_accept_for_old_proposal_ignored():
+    rt, group = build()
+    cohort = group.cohort(1)
+    cohort.view_change.become_manager()
+    stale = m.AcceptMsg(
+        viewid=ViewId(1, 0),  # not our current proposal
+        mid=2,
+        crashed=False,
+        viewstamp=cohort.history.latest,
+        was_primary=False,
+        crash_viewid=None,
+    )
+    cohort.view_change.on_accept(stale)
+    assert 2 not in cohort.view_change._responses
+
+
+def test_init_view_with_wrong_viewid_ignored():
+    rt, group = build()
+    cohort = group.cohort(1)
+    from repro.core.view import View
+
+    cohort.view_change.on_init_view(
+        m.InitViewMsg(viewid=ViewId(99, 0), view=View(primary=1, backups=(0, 2)))
+    )
+    # max_viewid is still v1.0, so the message is stale-or-foreign: ignored.
+    assert cohort.cur_viewid == ViewId(1, 0)
+
+
+def test_become_manager_noop_when_down():
+    rt, group = build()
+    cohort = group.cohort(1)
+    cohort.node.crash()
+    cohort.view_change.become_manager()
+    # A dead node cannot manage anything.
+    assert not cohort.node.up
+
+
+def test_concurrent_managers_converge_to_one_view():
+    """Two cohorts start managing simultaneously; viewid ordering makes
+    exactly one view win and every live cohort lands in it."""
+    rt, group = build(seed=7)
+    rt.run_for(50)
+    group.cohort(0).node.crash()  # both backups notice around the same time
+    # Force both to manage NOW, bypassing the ordered-manager damping.
+    group.cohort(1).view_change.become_manager()
+    group.cohort(2).view_change.become_manager()
+    rt.run_for(2000)
+    active = [c for c in group.active_cohorts()]
+    assert len(active) == 2
+    viewids = {c.cur_viewid for c in active}
+    assert len(viewids) == 1
+    primaries = [c for c in active if c.is_primary]
+    assert len(primaries) == 1
+
+
+def test_repeated_manager_rounds_escalate_viewid():
+    """A manager alone in a partition keeps minting higher viewids."""
+    rt, group = build(seed=8)
+    rt.network.partition([{group.cohort(2).node.node_id}])
+    lonely = group.cohort(2)
+    lonely.view_change.become_manager()
+    first = lonely.max_viewid
+    rt.run_for(500)
+    assert lonely.max_viewid > first
+    assert lonely.status is Status.VIEW_MANAGER  # still trying, never formed
+
+
+def test_view_change_during_view_change():
+    """A second crash while the first change is in flight still converges."""
+    rt, group = build(seed=9)
+    rt.run_for(50)
+    group.cohort(0).node.crash()
+    rt.run_for(45)  # mid-change (detection done, formation racing)
+    # Recover 0 immediately: now the old primary is back mid-change.
+    group.cohort(0).node.recover()
+    rt.run_for(3000)
+    active = group.active_cohorts()
+    assert len(active) == 3
+    assert len({c.cur_viewid for c in active}) == 1

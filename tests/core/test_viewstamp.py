@@ -1,0 +1,191 @@
+"""Tests for viewids, viewstamps, histories, compatible(), vs_max()."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.viewstamp import History, ViewId, Viewstamp, compatible, vs_max
+from repro.txn.pset import PSet, PSetPair
+
+V1 = ViewId(1, 0)
+V2 = ViewId(2, 1)
+V3 = ViewId(3, 0)
+
+
+def test_viewid_total_order():
+    assert ViewId(1, 0) < ViewId(1, 1) < ViewId(2, 0)
+
+
+def test_viewid_next_for_exceeds_any_mid():
+    vid = ViewId(5, 9)
+    nxt = vid.next_for(0)
+    assert nxt > vid
+    assert nxt == ViewId(6, 0)
+
+
+def test_viewstamp_order_viewid_dominates():
+    assert Viewstamp(V1, 100) < Viewstamp(V2, 1)
+    assert Viewstamp(V2, 1) < Viewstamp(V2, 2)
+
+
+def test_history_latest():
+    history = History([Viewstamp(V1, 3)])
+    assert history.latest == Viewstamp(V1, 3)
+
+
+def test_empty_history_latest_raises():
+    with pytest.raises(ValueError):
+        History().latest
+
+
+def test_history_open_view_appends_zero():
+    history = History([Viewstamp(V1, 5)])
+    history.open_view(V2)
+    assert history.latest == Viewstamp(V2, 0)
+    assert len(history) == 2
+
+
+def test_history_open_view_rejects_regression():
+    history = History([Viewstamp(V2, 1)])
+    with pytest.raises(ValueError):
+        history.open_view(V1)
+    with pytest.raises(ValueError):
+        history.open_view(V2)
+
+
+def test_history_advance():
+    history = History([Viewstamp(V1, 0)])
+    history.advance(V1, 4)
+    assert history.latest == Viewstamp(V1, 4)
+
+
+def test_history_advance_rejects_wrong_view():
+    history = History([Viewstamp(V1, 0)])
+    with pytest.raises(ValueError):
+        history.advance(V2, 1)
+
+
+def test_history_advance_rejects_regression():
+    history = History([Viewstamp(V1, 5)])
+    with pytest.raises(ValueError):
+        history.advance(V1, 4)
+
+
+def test_history_knows():
+    history = History([Viewstamp(V1, 5), Viewstamp(V2, 2)])
+    assert history.knows(Viewstamp(V1, 5))
+    assert history.knows(Viewstamp(V1, 1))
+    assert history.knows(Viewstamp(V2, 2))
+    assert not history.knows(Viewstamp(V2, 3))
+    assert not history.knows(Viewstamp(V3, 0))
+
+
+def test_history_rejects_unordered_entries():
+    with pytest.raises(ValueError):
+        History([Viewstamp(V2, 0), Viewstamp(V1, 0)])
+
+
+def test_compatible_true_when_history_covers():
+    history = History([Viewstamp(V1, 5)])
+    pset = PSet()
+    pset.add("g", Viewstamp(V1, 3))
+    assert compatible(pset.pairs(), "g", history)
+
+
+def test_compatible_false_when_event_lost():
+    """The view-change-lost-a-call case: pset names ts 7, history covers 5."""
+    history = History([Viewstamp(V1, 5), Viewstamp(V2, 0)])
+    pset = PSet()
+    pset.add("g", Viewstamp(V1, 7))
+    assert not compatible(pset.pairs(), "g", history)
+
+
+def test_compatible_ignores_other_groups():
+    history = History([Viewstamp(V1, 0)])
+    pset = PSet()
+    pset.add("other", Viewstamp(V3, 99))
+    assert compatible(pset.pairs(), "g", history)
+
+
+def test_compatible_unknown_view_is_incompatible():
+    history = History([Viewstamp(V2, 5)])
+    pset = PSet()
+    pset.add("g", Viewstamp(V1, 1))  # history has no entry for V1
+    assert not compatible(pset.pairs(), "g", history)
+
+
+def test_vs_max_picks_latest_for_group():
+    pset = PSet()
+    pset.add("g", Viewstamp(V1, 9))
+    pset.add("g", Viewstamp(V2, 1))
+    pset.add("other", Viewstamp(V3, 50))
+    assert vs_max(pset.pairs(), "g") == Viewstamp(V2, 1)
+
+
+def test_vs_max_none_when_group_absent():
+    pset = PSet()
+    pset.add("other", Viewstamp(V1, 1))
+    assert vs_max(pset.pairs(), "g") is None
+
+
+# -- property-based tests ---------------------------------------------------
+
+viewids = st.builds(ViewId, st.integers(0, 50), st.integers(0, 6))
+viewstamps = st.builds(Viewstamp, viewids, st.integers(0, 1000))
+
+
+@given(viewstamps, viewstamps)
+def test_viewstamp_order_is_total(a, b):
+    assert (a < b) + (b < a) + (a == b) == 1
+
+
+@given(st.lists(viewstamps, min_size=1, max_size=8))
+def test_viewstamp_max_is_unique_upper_bound(stamps):
+    top = max(stamps)
+    assert all(s <= top for s in stamps)
+
+
+@given(st.lists(st.tuples(viewids, st.integers(0, 100)), min_size=1, max_size=6))
+def test_history_knows_monotone_in_ts(entries):
+    # Build a valid history from sorted unique viewids.
+    unique = {}
+    for vid, ts in entries:
+        unique[vid] = max(ts, unique.get(vid, 0))
+    ordered = sorted(unique.items())
+    history = History([Viewstamp(vid, ts) for vid, ts in ordered])
+    for vid, ts in ordered:
+        # Everything at-or-below the covered timestamp is known.
+        assert history.knows(Viewstamp(vid, ts))
+        if ts > 0:
+            assert history.knows(Viewstamp(vid, ts - 1))
+        assert not history.knows(Viewstamp(vid, ts + 1))
+
+
+@given(st.lists(st.tuples(st.sampled_from(["g", "h"]), viewstamps), max_size=8))
+def test_vs_max_is_member_and_maximal(pairs):
+    pset = PSet()
+    for group, stamp in pairs:
+        pset.add(group, stamp)
+    top = vs_max(pset.pairs(), "g")
+    group_stamps = [p.vs for p in pset.pairs() if p.groupid == "g"]
+    if not group_stamps:
+        assert top is None
+    else:
+        assert top in group_stamps
+        assert all(stamp <= top for stamp in group_stamps)
+
+
+@given(st.lists(st.tuples(st.sampled_from(["g", "h"]), viewstamps), max_size=8))
+def test_compatible_with_own_history_of_maxima(pairs):
+    """A history that covers the per-view maxima of a pset is compatible."""
+    pset = PSet()
+    for group, stamp in pairs:
+        pset.add(group, stamp)
+    maxima = {}
+    for pair in pset.pairs():
+        if pair.groupid != "g":
+            continue
+        maxima[pair.vs.id] = max(pair.vs.ts, maxima.get(pair.vs.id, 0))
+    history = History(
+        [Viewstamp(vid, ts) for vid, ts in sorted(maxima.items())]
+    )
+    assert compatible(pset.pairs(), "g", history)

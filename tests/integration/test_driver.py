@@ -1,0 +1,79 @@
+"""Tests for the workload driver front-end."""
+
+import pytest
+
+from tests.conftest import build_counter_system
+
+
+def test_driver_commits_and_returns_result(counter_system):
+    rt, _counter, _clients, driver = counter_system
+    future = driver.submit("clients", "bump", 3)
+    rt.run_for(400)
+    assert future.result() == ("committed", 3)
+
+
+def test_driver_measures_latency(counter_system):
+    rt, _counter, _clients, driver = counter_system
+    driver.submit("clients", "bump", 1)
+    rt.run_for(400)
+    stat = rt.metrics.latencies["driver_txn_latency"]
+    assert stat.count == 1
+    assert stat.mean > 0
+
+
+def test_driver_discovers_primary_from_cold_cache(counter_system):
+    rt, _counter, _clients, driver = counter_system
+    assert driver.cache.get("clients") is None
+    future = driver.submit("clients", "bump", 1)
+    rt.run_for(400)
+    assert future.result()[0] == "committed"
+    assert driver.cache.get("clients") is not None
+
+
+def test_driver_follows_client_group_failover(counter_system):
+    rt, _counter, clients, driver = counter_system
+    first = driver.submit("clients", "bump", 1)
+    rt.run_for(400)
+    assert first.result()[0] == "committed"
+    clients.crash_primary()
+    rt.run_for(400)
+    second = driver.submit("clients", "bump", 1)
+    rt.run_for(3000)
+    assert second.done
+    assert second.result()[0] == "committed"
+
+
+def test_driver_gives_up_after_retry_budget():
+    rt, counter, clients, driver = build_counter_system(seed=14)
+    for mid in range(3):
+        clients.crash_cohort(mid)  # the whole client group is dead
+    future = driver.submit("clients", "bump", 1, retries=2)
+    rt.run_for(10_000)
+    assert future.done
+    assert future.result() == ("unknown", None)
+
+
+def test_driver_duplicate_outcome_suppressed(counter_system):
+    """A retransmitted outcome for the same request resolves only once."""
+    rt, _counter, _clients, driver = counter_system
+    future = driver.submit("clients", "bump", 2)
+    rt.run_for(400)
+    first = future.result()
+    # Late duplicate delivery must be ignored without error.
+    from repro.core.messages import TxnOutcomeMsg
+
+    driver.handle_message(
+        TxnOutcomeMsg(request_id=1, outcome="aborted", result=None, aid=None),
+        "clients/0",
+    )
+    assert future.result() == first
+
+
+def test_driver_request_ids_unique(counter_system):
+    rt, _counter, _clients, driver = counter_system
+    f1 = driver.submit("clients", "bump", 1)
+    f2 = driver.submit("clients", "bump", 1)
+    rt.run_for(600)
+    assert f1.result()[0] == "committed"
+    assert f2.result()[0] == "committed"
+    assert rt.ledger.commit_count == 2  # two distinct transactions ran

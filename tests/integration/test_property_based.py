@@ -1,0 +1,123 @@
+"""Property-based end-to-end tests: random schedules, invariants always hold.
+
+Each hypothesis example builds a fresh simulated system, runs a randomized
+transfer workload under a randomized failure schedule, and asserts the
+safety battery.  Examples are kept small so the suite stays fast; the
+deeper (longer) randomized coverage lives in test_chaos.py.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import EmptyModule, Runtime
+from repro.workloads.bank import BankAccountsSpec, transfer_program
+from repro.workloads.bank import total_balance as spec_total
+from repro.workloads.loadgen import run_closed_loop
+
+
+failure_plans = st.lists(
+    st.tuples(
+        st.floats(50.0, 400.0),      # when (relative to previous event)
+        st.sampled_from(["crash0", "crash1", "crash2", "recover", "partition",
+                         "heal"]),
+    ),
+    max_size=6,
+)
+
+transfer_plans = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(1, 20)),
+    min_size=1,
+    max_size=10,
+)
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(0, 10_000),
+    transfers=transfer_plans,
+    failures=failure_plans,
+)
+def test_random_schedule_preserves_invariants(seed, transfers, failures):
+    rt = Runtime(seed=seed)
+    spec = BankAccountsSpec(n_accounts=4, opening_balance=100)
+    bank = rt.create_group("bank", spec, n_cohorts=3)
+    clients = rt.create_group("clients", EmptyModule(), n_cohorts=3)
+    clients.register_program("transfer", transfer_program)
+    driver = rt.create_driver("driver")
+
+    jobs = [
+        ("transfer", ("bank", spec.account(src), spec.account(dst), amount))
+        for src, dst, amount in transfers
+    ]
+    stats = run_closed_loop(rt, driver, "clients", jobs, concurrency=2)
+
+    # Apply the failure plan on a timeline.
+    at = 0.0
+    down = set()
+    node_ids = [node.node_id for node in bank.nodes()]
+    for delay, action in failures:
+        at += delay
+        if action.startswith("crash"):
+            mid = int(action[-1])
+            if len(down) < 1:  # keep a majority alive
+                rt.sim.schedule(at, bank.cohorts[mid].node.crash)
+                down.add(mid)
+        elif action == "recover":
+            for mid in list(down):
+                rt.sim.schedule(at, bank.cohorts[mid].node.recover)
+            down.clear()
+        elif action == "partition":
+            rt.sim.schedule(
+                at, rt.network.partition, [{node_ids[0]}, set(node_ids[1:])]
+            )
+        elif action == "heal":
+            rt.sim.schedule(at, rt.network.heal)
+
+    deadline = 30_000
+    while stats.submitted < len(jobs) and rt.sim.now < deadline:
+        rt.run_for(500)
+    rt.network.heal()
+    for mid in list(down):
+        bank.cohorts[mid].node.recover()
+    rt.run_for(2000)
+    rt.quiesce()
+
+    # Safety battery: 1SR, no contradictory outcomes, conservation.
+    rt.check_invariants(require_convergence=False)
+    if bank.active_primary() is not None:
+        assert spec_total(bank, spec) == 400
+        problems = bank.divergence_report()
+        assert not problems, problems
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n_cohorts=st.sampled_from([1, 3, 5]),
+    amounts=st.lists(st.integers(1, 30), min_size=1, max_size=6),
+)
+def test_failure_free_transfers_always_commit(seed, n_cohorts, amounts):
+    """Without failures, every well-funded transfer commits, at any
+    replication factor, and the books balance exactly."""
+    rt = Runtime(seed=seed)
+    spec = BankAccountsSpec(n_accounts=2, opening_balance=1000)
+    bank = rt.create_group("bank", spec, n_cohorts=n_cohorts)
+    clients = rt.create_group("clients", EmptyModule(), n_cohorts=n_cohorts)
+    clients.register_program("transfer", transfer_program)
+    driver = rt.create_driver("driver")
+    jobs = [
+        ("transfer", ("bank", spec.account(0), spec.account(1), amount))
+        for amount in amounts
+    ]
+    stats = run_closed_loop(rt, driver, "clients", jobs, concurrency=1)
+    while stats.submitted < len(jobs) and rt.sim.now < 20_000:
+        rt.run_for(500)
+    rt.quiesce()
+    assert stats.committed == len(amounts)
+    assert bank.read_object(spec.account(0)) == 1000 - sum(amounts)
+    assert bank.read_object(spec.account(1)) == 1000 + sum(amounts)
+    rt.check_invariants()

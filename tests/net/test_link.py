@@ -1,0 +1,52 @@
+"""Tests for link models."""
+
+import pytest
+
+from repro.net.link import LAN, LOSSY, LinkModel
+from repro.sim.rng import SeededRng
+
+
+def test_defaults():
+    assert LAN.loss_probability == 0.0
+    assert LOSSY.loss_probability > 0.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LinkModel(base_delay=-1.0)
+    with pytest.raises(ValueError):
+        LinkModel(jitter=-0.1)
+    with pytest.raises(ValueError):
+        LinkModel(loss_probability=1.0)
+    with pytest.raises(ValueError):
+        LinkModel(loss_probability=-0.1)
+    with pytest.raises(ValueError):
+        LinkModel(duplicate_probability=1.1)
+
+
+def test_delay_within_bounds():
+    rng = SeededRng(1)
+    model = LinkModel(base_delay=2.0, jitter=0.5)
+    for _ in range(200):
+        delay = model.draw_delay(rng)
+        assert 2.0 <= delay <= 2.5
+
+
+def test_zero_jitter_constant_delay():
+    rng = SeededRng(2)
+    model = LinkModel(base_delay=3.0, jitter=0.0)
+    assert {model.draw_delay(rng) for _ in range(10)} == {3.0}
+
+
+def test_drop_rate_roughly_matches():
+    rng = SeededRng(3)
+    model = LinkModel(loss_probability=0.25)
+    drops = sum(model.drops(rng) for _ in range(4000))
+    assert abs(drops / 4000 - 0.25) < 0.05
+
+
+def test_duplicates_rate():
+    rng = SeededRng(4)
+    model = LinkModel(duplicate_probability=0.5)
+    dups = sum(model.duplicates(rng) for _ in range(2000))
+    assert abs(dups / 2000 - 0.5) < 0.06

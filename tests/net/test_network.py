@@ -1,0 +1,197 @@
+"""Tests for the simulated network: delivery, loss, partitions, dedup."""
+
+import dataclasses
+
+import pytest
+
+from repro.net.link import LinkModel
+from repro.net.messages import Message
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.sim.node import Actor, Node
+
+
+@dataclasses.dataclass
+class Ping(Message):
+    payload: str = "ping"
+
+
+class Sink(Actor):
+    def __init__(self, node, address, network):
+        super().__init__(node, address)
+        self.received = []
+        network.register(self)
+
+    def handle_message(self, message, source):
+        self.received.append((message, source, self.sim.now))
+
+
+def build(link=LinkModel(base_delay=1.0, jitter=0.0), seed=0, n=2):
+    sim = Simulator(seed=seed)
+    net = Network(sim, link=link)
+    nodes = [Node(sim, f"n{i}") for i in range(n)]
+    actors = [Sink(nodes[i], f"a{i}", net) for i in range(n)]
+    return sim, net, nodes, actors
+
+
+def test_basic_delivery_with_delay():
+    sim, net, _nodes, actors = build()
+    net.send("a0", "a1", Ping())
+    sim.run()
+    assert len(actors[1].received) == 1
+    message, source, at = actors[1].received[0]
+    assert source == "a0"
+    assert at == 1.0
+
+
+def test_duplicate_registration_rejected():
+    sim, net, nodes, _actors = build()
+    with pytest.raises(ValueError):
+        Sink(nodes[0], "a0", net)
+
+
+def test_message_to_crashed_node_lost():
+    sim, net, nodes, actors = build()
+    nodes[1].crash()
+    net.send("a0", "a1", Ping())
+    sim.run()
+    assert actors[1].received == []
+    assert net.metrics.messages_dropped["Ping"] == 1
+
+
+def test_crashed_node_cannot_send():
+    sim, net, nodes, actors = build()
+    nodes[0].crash()
+    net.send("a0", "a1", Ping())
+    sim.run()
+    assert actors[1].received == []
+
+
+def test_crash_during_flight_loses_message():
+    sim, net, nodes, actors = build()
+    net.send("a0", "a1", Ping())
+    sim.schedule(0.5, nodes[1].crash)
+    sim.run()
+    assert actors[1].received == []
+
+
+def test_partition_blocks_cross_traffic():
+    sim, net, _nodes, actors = build()
+    net.partition([{"n0"}, {"n1"}])
+    net.send("a0", "a1", Ping())
+    sim.run()
+    assert actors[1].received == []
+
+
+def test_partition_allows_same_block():
+    sim, net, _nodes, actors = build(n=3)
+    net.partition([{"n0", "n1"}, {"n2"}])
+    net.send("a0", "a1", Ping())
+    net.send("a0", "a2", Ping())
+    sim.run()
+    assert len(actors[1].received) == 1
+    assert actors[2].received == []
+
+
+def test_heal_restores_delivery():
+    sim, net, _nodes, actors = build()
+    net.partition([{"n0"}, {"n1"}])
+    net.heal()
+    net.send("a0", "a1", Ping())
+    sim.run()
+    assert len(actors[1].received) == 1
+
+
+def test_partition_formed_mid_flight_blocks_delivery():
+    sim, net, _nodes, actors = build()
+    net.send("a0", "a1", Ping())
+    sim.schedule(0.5, net.partition, [{"n0"}, {"n1"}])
+    sim.run()
+    assert actors[1].received == []
+
+
+def test_unlisted_nodes_form_leftover_block():
+    sim, net, _nodes, actors = build(n=3)
+    net.partition([{"n0"}])
+    net.send("a1", "a2", Ping())  # both in the implicit leftover block
+    net.send("a0", "a1", Ping())
+    sim.run()
+    assert len(actors[2].received) == 1
+    assert actors[1].received == []
+
+
+def test_link_failure_blocks_pair_only():
+    sim, net, _nodes, actors = build(n=3)
+    net.fail_link("n0", "n1")
+    net.send("a0", "a1", Ping())
+    net.send("a0", "a2", Ping())
+    sim.run()
+    assert actors[1].received == []
+    assert len(actors[2].received) == 1
+    net.repair_link("n0", "n1")
+    net.send("a0", "a1", Ping())
+    sim.run()
+    assert len(actors[1].received) == 1
+
+
+def test_loss_probability_drops_messages():
+    link = LinkModel(base_delay=1.0, jitter=0.0, loss_probability=0.5)
+    sim, net, _nodes, actors = build(link=link, seed=7)
+    for _ in range(200):
+        net.send("a0", "a1", Ping())
+    sim.run()
+    delivered = len(actors[1].received)
+    assert 50 < delivered < 150  # ~100 expected
+
+
+def test_duplicates_suppressed_at_delivery():
+    """Network-generated duplicates never reach the actor twice (3.1)."""
+    link = LinkModel(base_delay=1.0, jitter=0.5, duplicate_probability=1.0)
+    sim, net, _nodes, actors = build(link=link, seed=3)
+    for _ in range(50):
+        net.send("a0", "a1", Ping())
+    sim.run()
+    assert len(actors[1].received) == 50
+    assert net.metrics.messages_duplicated["Ping"] == 50
+
+
+def test_jitter_reorders_messages():
+    link = LinkModel(base_delay=1.0, jitter=5.0)
+    sim, net, _nodes, actors = build(link=link, seed=11)
+
+    @dataclasses.dataclass
+    class Seq(Message):
+        n: int = 0
+
+    for index in range(30):
+        net.send("a0", "a1", Seq(n=index))
+    sim.run()
+    order = [message.n for message, _src, _at in actors[1].received]
+    assert sorted(order) == list(range(30))
+    assert order != list(range(30))  # at least one inversion
+
+
+def test_per_pair_link_override():
+    sim, net, _nodes, actors = build(n=3)
+    net.set_link_model("a0", "a1", LinkModel(base_delay=50.0, jitter=0.0))
+    net.send("a0", "a1", Ping())
+    net.send("a0", "a2", Ping())
+    sim.run()
+    assert actors[2].received[0][2] == 1.0
+    assert actors[1].received[0][2] == 50.0
+
+
+def test_metrics_accounting():
+    sim, net, _nodes, _actors = build()
+    net.send("a0", "a1", Ping())
+    sim.run()
+    assert net.metrics.messages_sent["Ping"] == 1
+    assert net.metrics.messages_delivered["Ping"] == 1
+    assert net.metrics.bytes_sent["Ping"] > 0
+
+
+def test_send_to_unknown_address_is_dropped():
+    sim, net, _nodes, _actors = build()
+    net.send("a0", "nowhere", Ping())
+    sim.run()
+    assert net.metrics.messages_dropped["Ping"] == 1

@@ -1,0 +1,132 @@
+"""Tests for fail-stop node semantics."""
+
+from repro.sim.kernel import Simulator
+from repro.sim.node import Actor, Node
+from repro.sim.process import sleep
+
+
+class Recorder(Actor):
+    def __init__(self, node, address):
+        super().__init__(node, address)
+        self.messages = []
+        self.crashes = 0
+        self.recoveries = 0
+
+    def handle_message(self, message, source):
+        self.messages.append((message, source))
+
+    def on_crash(self):
+        self.crashes += 1
+
+    def on_recover(self):
+        self.recoveries += 1
+
+
+def test_node_starts_up():
+    sim = Simulator()
+    node = Node(sim, "n1")
+    assert node.up
+    assert node.incarnation == 0
+
+
+def test_crash_marks_down_and_notifies_actors():
+    sim = Simulator()
+    node = Node(sim, "n1")
+    actor = Recorder(node, "a")
+    node.crash()
+    assert not node.up
+    assert actor.crashes == 1
+    assert node.incarnation == 1
+
+
+def test_crash_twice_is_single_crash():
+    sim = Simulator()
+    node = Node(sim, "n1")
+    actor = Recorder(node, "a")
+    node.crash()
+    node.crash()
+    assert actor.crashes == 1
+
+
+def test_recover_notifies_actors():
+    sim = Simulator()
+    node = Node(sim, "n1")
+    actor = Recorder(node, "a")
+    node.crash()
+    node.recover()
+    assert node.up
+    assert actor.recoveries == 1
+
+
+def test_recover_when_up_is_noop():
+    sim = Simulator()
+    node = Node(sim, "n1")
+    actor = Recorder(node, "a")
+    node.recover()
+    assert actor.recoveries == 0
+
+
+def test_timer_cancelled_by_crash():
+    sim = Simulator()
+    node = Node(sim, "n1")
+    fired = []
+    node.set_timer(5.0, fired.append, "should-not-fire")
+    sim.schedule(1.0, node.crash)
+    sim.run()
+    assert fired == []
+
+
+def test_timer_from_old_incarnation_does_not_fire():
+    """A timer set before a crash must not fire into the recovered node."""
+    sim = Simulator()
+    node = Node(sim, "n1")
+    fired = []
+    # Fires at t=5; crash at t=1, recover at t=2.  Even though the node is
+    # up at t=5, the timer belongs to incarnation 0.
+    node.set_timer(5.0, fired.append, "stale")
+    sim.schedule(1.0, node.crash)
+    sim.schedule(2.0, node.recover)
+    sim.run()
+    assert fired == []
+
+
+def test_timer_in_current_incarnation_fires():
+    sim = Simulator()
+    node = Node(sim, "n1")
+    fired = []
+
+    def arm():
+        node.set_timer(1.0, fired.append, "fresh")
+
+    sim.schedule(1.0, node.crash)
+    sim.schedule(2.0, node.recover)
+    sim.schedule(3.0, arm)
+    sim.run()
+    assert fired == ["fresh"]
+
+
+def test_crash_interrupts_processes():
+    sim = Simulator()
+    node = Node(sim, "n1")
+    log = []
+
+    def body():
+        log.append("start")
+        yield sleep(100.0)
+        log.append("never")
+
+    process = node.spawn(body())
+    sim.schedule(1.0, node.crash)
+    sim.run()
+    assert log == ["start"]
+    assert process.done
+
+
+def test_crash_count_tracks():
+    sim = Simulator()
+    node = Node(sim, "n1")
+    node.crash()
+    node.recover()
+    node.crash()
+    assert node.crash_count == 2
+    assert node.incarnation == 2

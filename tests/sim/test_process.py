@@ -1,0 +1,236 @@
+"""Tests for generator-based processes and futures."""
+
+import pytest
+
+from repro.sim.errors import CancelledError, SimulationError
+from repro.sim.future import Future
+from repro.sim.kernel import Simulator
+from repro.sim.process import all_of, any_of, sleep, spawn
+
+
+def test_future_result_roundtrip():
+    future = Future("x")
+    assert not future.done
+    future.set_result(42)
+    assert future.done
+    assert future.result() == 42
+    assert future.exception() is None
+
+
+def test_future_exception():
+    future = Future()
+    error = ValueError("boom")
+    future.set_exception(error)
+    assert future.failed
+    assert future.exception() is error
+    with pytest.raises(ValueError):
+        future.result()
+
+
+def test_future_double_resolve_rejected():
+    future = Future()
+    future.set_result(1)
+    with pytest.raises(SimulationError):
+        future.set_result(2)
+
+
+def test_future_cancel():
+    future = Future("c")
+    assert future.cancel()
+    assert future.cancelled
+    assert not future.cancel()  # second cancel is a no-op
+    with pytest.raises(CancelledError):
+        future.result()
+
+
+def test_callback_fires_immediately_when_done():
+    future = Future()
+    future.set_result("v")
+    seen = []
+    future.add_done_callback(lambda f: seen.append(f.result()))
+    assert seen == ["v"]
+
+
+def test_pending_future_result_raises():
+    with pytest.raises(SimulationError):
+        Future().result()
+
+
+def test_process_sleep_advances_clock():
+    sim = Simulator()
+    log = []
+
+    def body():
+        log.append(sim.now)
+        yield sleep(5.0)
+        log.append(sim.now)
+        return "done"
+
+    process = spawn(sim, body())
+    sim.run()
+    assert log == [0.0, 5.0]
+    assert process.result() == "done"
+
+
+def test_process_waits_on_future():
+    sim = Simulator()
+    gate = Future("gate")
+    log = []
+
+    def body():
+        value = yield gate
+        log.append(value)
+
+    spawn(sim, body())
+    sim.schedule(3.0, gate.set_result, "opened")
+    sim.run()
+    assert log == ["opened"]
+
+
+def test_future_failure_thrown_into_process():
+    sim = Simulator()
+    gate = Future()
+    caught = []
+
+    def body():
+        try:
+            yield gate
+        except ValueError as error:
+            caught.append(str(error))
+
+    spawn(sim, body())
+    sim.schedule(1.0, gate.set_exception, ValueError("bad"))
+    sim.run()
+    assert caught == ["bad"]
+
+
+def test_process_exception_captured():
+    sim = Simulator()
+
+    def body():
+        yield sleep(1.0)
+        raise RuntimeError("kaput")
+
+    process = spawn(sim, body())
+    sim.run()
+    assert isinstance(process.exception(), RuntimeError)
+
+
+def test_process_join():
+    sim = Simulator()
+    order = []
+
+    def worker():
+        yield sleep(2.0)
+        order.append("worker")
+        return 99
+
+    def boss():
+        value = yield spawn(sim, worker())
+        order.append(f"boss:{value}")
+
+    spawn(sim, boss())
+    sim.run()
+    assert order == ["worker", "boss:99"]
+
+
+def test_all_of_collects_results():
+    sim = Simulator()
+    futures = [Future(str(i)) for i in range(3)]
+    got = []
+
+    def body():
+        results = yield all_of(*futures)
+        got.append(results)
+
+    spawn(sim, body())
+    for index, future in enumerate(futures):
+        sim.schedule(index + 1.0, future.set_result, index * 10)
+    sim.run()
+    assert got == [[0, 10, 20]]
+
+
+def test_all_of_fails_fast():
+    sim = Simulator()
+    futures = [Future(), Future()]
+
+    def body():
+        yield all_of(*futures)
+
+    process = spawn(sim, body())
+    sim.schedule(1.0, futures[0].set_exception, RuntimeError("first"))
+    sim.run()
+    assert isinstance(process.exception(), RuntimeError)
+
+
+def test_any_of_returns_first():
+    sim = Simulator()
+    futures = [Future(), Future()]
+    got = []
+
+    def body():
+        index, value = yield any_of(*futures)
+        got.append((index, value))
+
+    spawn(sim, body())
+    sim.schedule(2.0, futures[1].set_result, "late-was-first")
+    sim.schedule(5.0, futures[0].set_result, "slow")
+    sim.run()
+    assert got == [(1, "late-was-first")]
+
+
+def test_interrupt_throws_cancelled():
+    sim = Simulator()
+    log = []
+
+    def body():
+        try:
+            yield sleep(100.0)
+        except CancelledError:
+            log.append("interrupted")
+            raise
+
+    process = spawn(sim, body())
+    sim.schedule(1.0, process.interrupt)
+    sim.run()
+    assert log == ["interrupted"]
+    assert process.cancelled
+
+
+def test_yield_bad_value_fails_process():
+    sim = Simulator()
+
+    def body():
+        yield 12345
+
+    process = spawn(sim, body())
+    sim.run()
+    assert isinstance(process.exception(), SimulationError)
+
+
+def test_process_return_value_is_future_result():
+    sim = Simulator()
+
+    def body():
+        yield sleep(1.0)
+        return {"answer": 42}
+
+    process = spawn(sim, body())
+    sim.run()
+    assert process.result() == {"answer": 42}
+
+
+def test_nested_yield_from():
+    sim = Simulator()
+
+    def inner():
+        yield sleep(1.0)
+        return "inner-value"
+
+    def outer():
+        value = yield from inner()
+        return f"outer({value})"
+
+    process = spawn(sim, outer())
+    sim.run()
+    assert process.result() == "outer(inner-value)"

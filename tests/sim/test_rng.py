@@ -1,0 +1,82 @@
+"""Tests for seeded random streams."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim.rng import SeededRng
+
+
+def test_same_seed_same_stream():
+    a = SeededRng(42)
+    b = SeededRng(42)
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_seeds_differ():
+    a = SeededRng(1)
+    b = SeededRng(2)
+    assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+
+def test_fork_is_independent_of_parent_consumption():
+    """Forking after draws yields the same stream as forking before."""
+    parent1 = SeededRng(7)
+    fork_early = parent1.fork("net")
+    parent2 = SeededRng(7)
+    for _ in range(100):
+        parent2.random()  # consume the parent heavily
+    fork_late = parent2.fork("net")
+    assert [fork_early.random() for _ in range(10)] == [
+        fork_late.random() for _ in range(10)
+    ]
+
+
+def test_named_forks_are_distinct():
+    root = SeededRng(3)
+    a = root.fork("a")
+    b = root.fork("b")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_nested_forks_stable():
+    one = SeededRng(5).fork("x").fork("y")
+    two = SeededRng(5).fork("x").fork("y")
+    assert one.random() == two.random()
+
+
+def test_chance_extremes():
+    rng = SeededRng(0)
+    assert not rng.chance(0.0)
+    assert rng.chance(1.0)
+    assert not rng.chance(-1.0)
+    assert rng.chance(2.0)
+
+
+@given(st.floats(0.05, 0.95))
+def test_chance_rate_roughly_matches(p):
+    rng = SeededRng(123).fork(f"p{p}")
+    hits = sum(rng.chance(p) for _ in range(2000))
+    assert abs(hits / 2000 - p) < 0.08
+
+
+def test_uniform_bounds():
+    rng = SeededRng(9)
+    for _ in range(100):
+        value = rng.uniform(2.0, 3.0)
+        assert 2.0 <= value <= 3.0
+
+
+def test_sample_and_choice():
+    rng = SeededRng(11)
+    population = list(range(10))
+    picked = rng.sample(population, 3)
+    assert len(picked) == 3
+    assert all(item in population for item in picked)
+    assert rng.choice(population) in population
+
+
+def test_shuffle_is_permutation():
+    rng = SeededRng(13)
+    items = list(range(20))
+    shuffled = list(items)
+    rng.shuffle(shuffled)
+    assert sorted(shuffled) == items

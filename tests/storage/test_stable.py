@@ -1,0 +1,94 @@
+"""Tests for the stable storage model."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.node import Node
+from repro.storage.stable import StableStore
+
+
+def build(latency=5.0):
+    sim = Simulator()
+    node = Node(sim, "n1")
+    return sim, node, StableStore(node, write_latency=latency)
+
+
+def test_write_completes_after_latency():
+    sim, _node, store = build(latency=5.0)
+    future = store.write("key", "value")
+    assert not future.done
+    sim.run(until=4.9)
+    assert not future.done
+    sim.run(until=5.0)
+    assert future.done
+    assert store.read("key") == "value"
+
+
+def test_value_not_durable_before_completion():
+    sim, _node, store = build()
+    store.write("key", "value")
+    sim.run(until=2.0)
+    assert store.read("key") is None
+
+
+def test_crash_mid_write_loses_value():
+    sim, node, store = build(latency=5.0)
+    store.write("key", "value")
+    sim.schedule(2.0, node.crash)
+    sim.run()
+    assert store.read("key") is None
+
+
+def test_values_survive_crash():
+    sim, node, store = build()
+    store.write("key", "value")
+    sim.run()
+    node.crash()
+    node.recover()
+    assert store.read("key") == "value"
+
+
+def test_write_immediate_is_synchronous():
+    _sim, _node, store = build()
+    store.write_immediate("key", [1, 2, 3])
+    assert store.read("key") == [1, 2, 3]
+
+
+def test_write_snapshots_value():
+    """Mutating the original after write must not change what's on disk."""
+    sim, _node, store = build()
+    value = {"a": 1}
+    store.write("key", value)
+    value["a"] = 999
+    sim.run()
+    assert store.read("key") == {"a": 1}
+
+
+def test_read_returns_copy():
+    sim, _node, store = build()
+    store.write_immediate("key", {"a": 1})
+    first = store.read("key")
+    first["a"] = 999
+    assert store.read("key") == {"a": 1}
+
+
+def test_read_default():
+    _sim, _node, store = build()
+    assert store.read("missing") is None
+    assert store.read("missing", default=42) == 42
+
+
+def test_contains():
+    _sim, _node, store = build()
+    assert "key" not in store
+    store.write_immediate("key", 1)
+    assert "key" in store
+
+
+def test_overwrite_keeps_latest():
+    sim, _node, store = build(latency=1.0)
+    store.write("key", "first")
+    sim.run()
+    store.write("key", "second")
+    sim.run()
+    assert store.read("key") == "second"

@@ -1,0 +1,283 @@
+"""Tests for the strict-2PL lock manager and versioned objects."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.txn.locks import LockManager
+from repro.txn.objects import READ, WRITE, ObjectStore
+
+
+def build():
+    store = ObjectStore()
+    store.create("x", 0)
+    store.create("y", 10)
+    return store, LockManager(store)
+
+
+def test_uncontended_read_granted_immediately():
+    _store, locks = build()
+    future = locks.acquire("x", "t1", READ)
+    assert future.done
+
+
+def test_shared_reads():
+    _store, locks = build()
+    assert locks.acquire("x", "t1", READ).done
+    assert locks.acquire("x", "t2", READ).done
+    assert locks.acquire("x", "t3", READ).done
+
+
+def test_write_excludes_write():
+    _store, locks = build()
+    assert locks.acquire("x", "t1", WRITE).done
+    blocked = locks.acquire("x", "t2", WRITE)
+    assert not blocked.done
+
+
+def test_write_excludes_read():
+    _store, locks = build()
+    assert locks.acquire("x", "t1", WRITE).done
+    assert not locks.acquire("x", "t2", READ).done
+
+
+def test_read_blocks_write_until_release():
+    _store, locks = build()
+    assert locks.acquire("x", "t1", READ).done
+    blocked = locks.acquire("x", "t2", WRITE)
+    assert not blocked.done
+    locks.discard("t1")
+    assert blocked.done
+
+
+def test_reentrant_read_then_read():
+    _store, locks = build()
+    assert locks.acquire("x", "t1", READ).done
+    assert locks.acquire("x", "t1", READ).done
+
+
+def test_upgrade_sole_reader():
+    _store, locks = build()
+    assert locks.acquire("x", "t1", READ).done
+    assert locks.acquire("x", "t1", WRITE).done
+    assert locks.holders_of("x") == {"t1": WRITE}
+
+
+def test_upgrade_blocked_by_other_reader():
+    _store, locks = build()
+    assert locks.acquire("x", "t1", READ).done
+    assert locks.acquire("x", "t2", READ).done
+    upgrade = locks.acquire("x", "t1", WRITE)
+    assert not upgrade.done
+    locks.discard("t2")
+    assert upgrade.done
+
+
+def test_write_then_read_reentrant():
+    _store, locks = build()
+    assert locks.acquire("x", "t1", WRITE).done
+    assert locks.acquire("x", "t1", READ).done
+    assert locks.holders_of("x") == {"t1": WRITE}
+
+
+def test_fifo_no_overtaking():
+    """A read must not overtake a queued write (writer starvation guard)."""
+    _store, locks = build()
+    assert locks.acquire("x", "t1", READ).done
+    writer = locks.acquire("x", "t2", WRITE)
+    late_reader = locks.acquire("x", "t3", READ)
+    assert not writer.done
+    assert not late_reader.done
+    locks.discard("t1")
+    assert writer.done
+    assert not late_reader.done
+    locks.discard("t2")
+    assert late_reader.done
+
+
+def test_compatible_prefix_granted_together():
+    _store, locks = build()
+    assert locks.acquire("x", "t1", WRITE).done
+    r1 = locks.acquire("x", "t2", READ)
+    r2 = locks.acquire("x", "t3", READ)
+    w = locks.acquire("x", "t4", WRITE)
+    locks.discard("t1")
+    assert r1.done and r2.done
+    assert not w.done
+
+
+def test_record_write_requires_write_lock():
+    _store, locks = build()
+    locks.acquire("x", "t1", READ)
+    with pytest.raises(ValueError):
+        locks.record_write("x", "t1", 5)
+
+
+def test_read_value_sees_own_tentative():
+    _store, locks = build()
+    locks.acquire("x", "t1", WRITE)
+    locks.record_write("x", "t1", 42)
+    assert locks.read_value("x", "t1") == 42
+
+
+def test_other_txn_does_not_see_tentative():
+    store, locks = build()
+    locks.acquire("x", "t1", WRITE)
+    locks.record_write("x", "t1", 42)
+    assert store.get("x").base == 0
+
+
+def test_install_makes_tentative_base_and_bumps_version():
+    store, locks = build()
+    locks.acquire("x", "t1", WRITE)
+    locks.record_write("x", "t1", 42)
+    changed = locks.install("t1")
+    assert changed == ["x"]
+    assert store.get("x").base == 42
+    assert store.get("x").version == 1
+    assert locks.holders_of("x") == {}
+
+
+def test_install_read_only_does_not_bump_version():
+    store, locks = build()
+    locks.acquire("x", "t1", READ)
+    assert locks.install("t1") == []
+    assert store.get("x").version == 0
+
+
+def test_discard_drops_tentative():
+    store, locks = build()
+    locks.acquire("x", "t1", WRITE)
+    locks.record_write("x", "t1", 42)
+    locks.discard("t1")
+    assert store.get("x").base == 0
+    assert locks.holders_of("x") == {}
+
+
+def test_release_reads_keeps_writes():
+    _store, locks = build()
+    locks.acquire("x", "t1", READ)
+    locks.acquire("y", "t1", WRITE)
+    locks.release_reads("t1")
+    assert locks.locks_held_by("t1") == {"y": WRITE}
+
+
+def test_release_reads_wakes_waiting_writer():
+    _store, locks = build()
+    locks.acquire("x", "t1", READ)
+    blocked = locks.acquire("x", "t2", WRITE)
+    locks.release_reads("t1")
+    assert blocked.done
+
+
+def test_cancel_waits_cancels_future():
+    _store, locks = build()
+    locks.acquire("x", "t1", WRITE)
+    blocked = locks.acquire("x", "t2", WRITE)
+    locks.cancel_waits("t2")
+    assert blocked.cancelled
+
+
+def test_cancel_waits_pumps_queue():
+    _store, locks = build()
+    locks.acquire("x", "t1", READ)
+    w = locks.acquire("x", "t2", WRITE)
+    r = locks.acquire("x", "t3", READ)
+    locks.cancel_waits("t2")
+    assert not w.done or w.cancelled
+    assert r.done  # reader is now compatible with the head reader
+
+
+def test_last_write_wins_within_txn():
+    store, locks = build()
+    locks.acquire("x", "t1", WRITE)
+    locks.record_write("x", "t1", 1)
+    locks.record_write("x", "t1", 2)
+    locks.install("t1")
+    assert store.get("x").base == 2
+    assert store.get("x").version == 1
+
+
+def test_subaction_discard_keeps_other_subactions():
+    store, locks = build()
+    locks.acquire("x", "t1", WRITE)
+    locks.record_write("x", "t1", 1, subaction=1)
+    locks.record_write("x", "t1", 2, subaction=2)
+    locks.discard_subaction("t1", 2)
+    locks.install("t1")
+    assert store.get("x").base == 1
+
+
+def test_subaction_discard_all_writes_degrades_lock():
+    store, locks = build()
+    locks.acquire("x", "t1", WRITE)
+    locks.record_write("x", "t1", 1, subaction=1)
+    locks.discard_subaction("t1", 1)
+    assert locks.holders_of("x") == {"t1": READ}
+
+
+def test_reset_clears_everything():
+    store, locks = build()
+    locks.acquire("x", "t1", WRITE)
+    blocked = locks.acquire("x", "t2", WRITE)
+    locks.reset()
+    assert locks.holders_of("x") == {}
+    assert blocked.cancelled
+
+
+def test_store_snapshot_restore_roundtrip():
+    store, locks = build()
+    locks.acquire("x", "t1", WRITE)
+    locks.record_write("x", "t1", 9)
+    locks.install("t1")
+    snapshot = store.snapshot()
+    other = ObjectStore()
+    other.restore(snapshot)
+    assert other.get("x").base == 9
+    assert other.get("x").version == 1
+    assert other.get("y").base == 10
+
+
+# -- property-based tests -----------------------------------------------------
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["t1", "t2", "t3"]),
+        st.sampled_from([READ, WRITE]),
+        st.sampled_from(["x", "y"]),
+    ),
+    max_size=25,
+)
+
+
+@given(ops)
+def test_no_conflicting_grants_ever(operations):
+    """Invariant: at most one writer per object; never writer+reader mix."""
+    store = ObjectStore()
+    store.create("x", 0)
+    store.create("y", 0)
+    locks = LockManager(store)
+    for txn, kind, uid in operations:
+        locks.acquire(uid, txn, kind)
+        for obj_uid in ("x", "y"):
+            holders = locks.holders_of(obj_uid)
+            writers = [t for t, k in holders.items() if k == WRITE]
+            assert len(writers) <= 1
+            if writers:
+                assert set(holders) == set(writers)
+    # Releasing every transaction leaves a clean table.
+    for txn in ("t1", "t2", "t3"):
+        locks.discard(txn)
+    assert locks.holders_of("x") == {}
+    assert locks.holders_of("y") == {}
+
+
+@given(ops, st.sampled_from(["t1", "t2", "t3"]))
+def test_discard_releases_all_locks(operations, victim):
+    store = ObjectStore()
+    store.create("x", 0)
+    store.create("y", 0)
+    locks = LockManager(store)
+    for txn, kind, uid in operations:
+        locks.acquire(uid, txn, kind)
+    locks.discard(victim)
+    assert locks.locks_held_by(victim) == {}

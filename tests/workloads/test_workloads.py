@@ -1,0 +1,170 @@
+"""Tests for workload specs, the load generator, and failure schedules."""
+
+import pytest
+
+from repro import EmptyModule, Runtime
+from repro.workloads.airline import AirlineSpec, check_airline_invariants
+from repro.workloads.bank import BankAccountsSpec
+from repro.workloads.kv import KVStoreSpec
+from repro.workloads.loadgen import ClosedLoopStats, run_closed_loop
+from repro.workloads.schedules import (
+    CrashRecoverySchedule,
+    PartitionSchedule,
+    kill_primary_every,
+)
+
+
+# -- specs -----------------------------------------------------------------
+
+
+def test_kv_spec_key_space():
+    spec = KVStoreSpec(n_keys=4)
+    assert spec.key(0) == "key0"
+    assert spec.key(5) == "key1"  # wraps
+    assert len(spec.initial_objects()) == 4
+
+
+def test_bank_spec_accounts():
+    spec = BankAccountsSpec(n_accounts=3, opening_balance=50)
+    objects = spec.initial_objects()
+    assert len(objects) == 3
+    assert all(value == 50 for value in objects.values())
+
+
+def test_airline_spec_objects():
+    spec = AirlineSpec(flights=("F1",), capacity=10)
+    objects = spec.initial_objects()
+    assert objects == {"F1:left": 10, "F1:booked": 0}
+
+
+def build_airline(seed=2):
+    rt = Runtime(seed=seed)
+    spec = AirlineSpec(flights=("F1",), capacity=5)
+    airline = rt.create_group("airline", spec, n_cohorts=3)
+    clients = rt.create_group("clients", EmptyModule(), n_cohorts=3)
+    from repro.workloads.airline import book_trip_program
+
+    clients.register_program("book", book_trip_program)
+    driver = rt.create_driver("driver")
+    return rt, airline, clients, driver, spec
+
+
+def test_airline_never_oversells():
+    rt, airline, _clients, driver, spec = build_airline()
+    futures = [
+        driver.submit("clients", "book", "airline", "F1", 2) for _ in range(5)
+    ]
+    rt.run_for(3000)
+    rt.quiesce()
+    committed = sum(1 for f in futures if f.done and f.result()[0] == "committed")
+    assert committed == 2  # 5 seats / 2 per booking
+    check_airline_invariants(airline, spec)
+
+
+def test_airline_cancel_restores_seats():
+    rt, airline, clients, driver, spec = build_airline(seed=3)
+    from repro import transaction_program
+
+    @transaction_program
+    def cancel(txn, flight, seats):
+        result = yield txn.call("airline", "cancel", flight, seats)
+        return result
+
+    clients.register_program("cancel", cancel)
+    f = driver.submit("clients", "book", "airline", "F1", 3)
+    rt.run_for(300)
+    assert f.result()[0] == "committed"
+    f = driver.submit("clients", "cancel", "F1", 2)
+    rt.run_for(300)
+    assert f.result()[0] == "committed"
+    rt.quiesce()
+    assert airline.read_object("F1:left") == 4
+    check_airline_invariants(airline, spec)
+
+
+# -- closed loop ---------------------------------------------------------------
+
+
+def test_closed_loop_runs_all_jobs():
+    rt = Runtime(seed=4)
+    spec = KVStoreSpec(n_keys=4)
+    rt.create_group("kv", spec, n_cohorts=3)
+    clients = rt.create_group("clients", EmptyModule(), n_cohorts=3)
+    from repro.workloads.kv import write_program
+
+    clients.register_program("write", write_program)
+    driver = rt.create_driver("driver")
+    jobs = [("write", ("kv", spec.key(i), i)) for i in range(10)]
+    stats = run_closed_loop(rt, driver, "clients", jobs, concurrency=2)
+    rt.run_for(5000)
+    assert stats.submitted == 10
+    assert stats.committed == 10
+    assert stats.throughput > 0
+    assert stats.mean_latency > 0
+    assert stats.abort_rate == 0
+
+
+def test_closed_loop_think_time_spreads_load():
+    rt = Runtime(seed=5)
+    spec = KVStoreSpec(n_keys=4)
+    rt.create_group("kv", spec, n_cohorts=3)
+    clients = rt.create_group("clients", EmptyModule(), n_cohorts=3)
+    from repro.workloads.kv import write_program
+
+    clients.register_program("write", write_program)
+    driver = rt.create_driver("driver")
+    jobs = [("write", ("kv", spec.key(i), i)) for i in range(5)]
+    stats = run_closed_loop(rt, driver, "clients", jobs, think_time=100.0)
+    rt.run_for(5000)
+    assert stats.committed == 5
+    assert stats.duration > 400  # at least the think time between jobs
+
+
+# -- schedules -------------------------------------------------------------------
+
+
+def test_crash_schedule_respects_max_down():
+    rt = Runtime(seed=6)
+    nodes = [rt.create_node(f"n{i}") for i in range(3)]
+    schedule = CrashRecoverySchedule(rt, nodes, mttf=50.0, mttr=100.0, max_down=1)
+    schedule.start()
+    worst = 0
+    for _ in range(100):
+        rt.run_for(20)
+        worst = max(worst, sum(1 for n in nodes if not n.up))
+    schedule.stop()
+    assert worst <= 1
+
+
+def test_crash_schedule_records_events():
+    rt = Runtime(seed=7)
+    nodes = [rt.create_node(f"n{i}") for i in range(2)]
+    schedule = CrashRecoverySchedule(rt, nodes, mttf=100.0, mttr=50.0)
+    schedule.start()
+    rt.run_for(2000)
+    schedule.stop()
+    kinds = {event.kind for event in schedule.events}
+    assert kinds == {"crash", "recover"}
+
+
+def test_partition_schedule_forms_and_heals():
+    rt = Runtime(seed=8)
+    node_ids = [rt.create_node(f"n{i}").node_id for i in range(4)]
+    schedule = PartitionSchedule(rt, node_ids, mean_healthy=50.0,
+                                 mean_partitioned=50.0)
+    schedule.start()
+    rt.run_for(2000)
+    schedule.stop()
+    assert schedule.partitions_formed > 0
+    assert rt.network._partition is None  # stop() heals
+
+
+def test_kill_primary_every_counts():
+    from tests.conftest import build_counter_system
+
+    rt, counter, _clients, _driver = build_counter_system(seed=9)
+    kill_primary_every(rt, counter, interval=100.0, count=1, recover_after=100.0)
+    rt.run_for(120)
+    assert any(not node.up for node in counter.nodes())
+    rt.run_for(200)
+    assert all(node.up for node in counter.nodes())
