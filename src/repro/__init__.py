@@ -46,6 +46,7 @@ from repro.app import (
 from repro.config import ProtocolConfig
 from repro.core import ModuleGroup, View, ViewId, Viewstamp
 from repro.driver import Driver
+from repro.faults import FaultController, FaultPlan, Nemesis
 from repro.net.link import LAN, LOSSY, LinkModel
 from repro.runtime import Runtime
 from repro.storage.stable import StableStoragePolicy
@@ -56,11 +57,14 @@ __all__ = [
     "CallContext",
     "Driver",
     "EmptyModule",
+    "FaultController",
+    "FaultPlan",
     "LAN",
     "LOSSY",
     "LinkModel",
     "ModuleGroup",
     "ModuleSpec",
+    "Nemesis",
     "ProtocolConfig",
     "Runtime",
     "StableStoragePolicy",

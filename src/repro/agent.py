@@ -204,10 +204,9 @@ class ClientAgent(Actor):
         elif isinstance(message, m.ViewProbeReplyMsg):
             self.caller.on_probe_reply(message)
             if message.groupid and message.active and message.view is not None:
-                primary_address = None
-                for mid, address in self.runtime.location.lookup(message.groupid):
-                    if mid == message.view.primary:
-                        primary_address = address
+                primary_address = self.runtime.location.primary_address(
+                    message.groupid, message.view
+                )
                 self.cache.update(
                     message.groupid, message.viewid, message.view, primary_address
                 )

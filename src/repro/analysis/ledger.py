@@ -34,6 +34,15 @@ class ViewChangeEvent:
     completed_at: float
 
 
+@dataclasses.dataclass
+class FaultEvent:
+    """One fault injected by a :class:`~repro.faults.FaultController`."""
+
+    at: float
+    kind: str  # "crash", "recover", "partition", "heal", ...
+    target: str
+
+
 class TransactionLedger:
     """Ground-truth record of everything that was decided during a run."""
 
@@ -44,6 +53,7 @@ class TransactionLedger:
         self.effects: Dict[Tuple[object, str], Tuple[dict, dict]] = {}
         self.view_changes: List[ViewChangeEvent] = []
         self.view_change_started: List[Tuple[str, float]] = []
+        self.faults: List[FaultEvent] = []
 
     def _now(self) -> float:
         return self._clock() if self._clock is not None else 0.0
@@ -69,6 +79,11 @@ class TransactionLedger:
 
     def record_view_change_started(self, groupid: str, at: float) -> None:
         self.view_change_started.append((groupid, at))
+
+    def record_fault(self, kind: str, target: str, at: float) -> None:
+        """Injected-fault timeline entry, so analysis can correlate
+        latency spikes and aborts with the fault that caused them."""
+        self.faults.append(FaultEvent(at=at, kind=kind, target=target))
 
     def record_view_change(self, groupid: str, viewid, primary: int) -> None:
         self.view_changes.append(

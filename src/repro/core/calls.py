@@ -31,6 +31,7 @@ from repro.core.messages import (
     ViewProbeReplyMsg,
 )
 from repro.core.viewstamp import ViewId
+from repro.location.service import primary_address_in
 from repro.sim.errors import SimulationError
 from repro.sim.future import Future
 from repro.txn.ids import Aid, CallId
@@ -265,11 +266,7 @@ class RemoteCaller:
     # -- helpers --------------------------------------------------------------
 
     def _update_cache(self, groupid: str, viewid: ViewId, view) -> bool:
-        primary_address = None
-        for mid, address in self.host.locate(groupid):
-            if mid == view.primary:
-                primary_address = address
-                break
+        primary_address = primary_address_in(self.host.locate(groupid), view)
         return self.host.cache.update(groupid, viewid, view, primary_address)
 
     def _fail(self, state: _OutstandingCall, reason: str) -> None:

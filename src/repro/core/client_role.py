@@ -30,6 +30,7 @@ from repro.core import messages as m
 from repro.core.calls import CallAborted
 from repro.core.events import Aborted, Committing, Done
 from repro.core.viewstamp import Viewstamp
+from repro.location.service import primary_address_in
 from repro.sim.errors import CancelledError
 from repro.sim.future import Future
 from repro.txn.ids import Aid, CallId
@@ -531,10 +532,9 @@ class ClientRole:
         if state is None:
             return
         if msg.viewid is not None and msg.view is not None and msg.groupid:
-            primary_address = None
-            for mid, address in self.cohort.locate(msg.groupid):
-                if mid == msg.view.primary:
-                    primary_address = address
+            primary_address = primary_address_in(
+                self.cohort.locate(msg.groupid), msg.view
+            )
             self.cohort.cache.update(msg.groupid, msg.viewid, msg.view, primary_address)
             if state.txn.phase == "preparing":
                 self._send_prepares(state, [msg.groupid])

@@ -30,6 +30,7 @@ class _PendingRequest:
     args: Tuple
     future: Future
     retries_left: int
+    timeout: float
     timer: Any = None
     submitted_at: float = 0.0
 
@@ -48,12 +49,23 @@ class Driver(Actor):
 
     # -- API ----------------------------------------------------------------
 
-    def submit(self, groupid: str, program: str, *args: Any, retries: int = 8) -> Future:
+    def submit(
+        self,
+        groupid: str,
+        program: str,
+        *args: Any,
+        retries: int = 8,
+        timeout: Optional[float] = None,
+    ) -> Future:
         """Run *program* at *groupid*; resolves to (outcome, result).
 
         Outcome is "committed", "aborted", or "unknown" (the group was
-        unreachable for the whole retry budget).
+        unreachable for the whole retry budget).  ``timeout`` is the wait
+        per attempt before re-probing and retrying; it defaults to twice
+        the protocol's call timeout.
         """
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"submit() timeout must be > 0, got {timeout!r}")
         self._next_request += 1
         request = _PendingRequest(
             request_id=self._next_request,
@@ -62,6 +74,7 @@ class Driver(Actor):
             args=tuple(args),
             future=Future(label=f"submit:{program}:{self._next_request}"),
             retries_left=retries,
+            timeout=timeout if timeout is not None else self.config.call_timeout * 2,
             submitted_at=self.sim.now,
         )
         self._requests[request.request_id] = request
@@ -86,7 +99,7 @@ class Driver(Actor):
                 ),
             )
         request.timer = self.node.set_timer(
-            self.config.call_timeout * 2, self._on_timeout, request.request_id
+            request.timeout, self._on_timeout, request.request_id
         )
 
     def _probe(self, groupid: str) -> None:
@@ -123,10 +136,9 @@ class Driver(Actor):
                 request.future.set_result((message.outcome, message.result))
         elif isinstance(message, m.ViewProbeReplyMsg):
             if message.active and message.viewid is not None:
-                primary_address = None
-                for mid, address in self.runtime.location.lookup(message.groupid):
-                    if mid == message.view.primary:
-                        primary_address = address
+                primary_address = self.runtime.location.primary_address(
+                    message.groupid, message.view
+                )
                 if self.cache.update(
                     message.groupid, message.viewid, message.view, primary_address
                 ):
@@ -143,10 +155,9 @@ class Driver(Actor):
             # if it carries any, otherwise probe the group.
             if message.groupid:
                 if message.viewid is not None and message.view is not None:
-                    primary_address = None
-                    for mid, address in self.runtime.location.lookup(message.groupid):
-                        if mid == message.view.primary:
-                            primary_address = address
+                    primary_address = self.runtime.location.primary_address(
+                        message.groupid, message.view
+                    )
                     moved = self.cache.update(
                         message.groupid, message.viewid, message.view, primary_address
                     )
@@ -160,4 +171,12 @@ class Driver(Actor):
                     self._probe(message.groupid)
 
     def on_crash(self) -> None:
+        # Losing volatile state must not strand callers: resolve every
+        # pending submission to "unknown" (the attempt may or may not have
+        # committed; the ledger is the ground truth) and drop its timer.
+        for request in self._requests.values():
+            if request.timer is not None:
+                request.timer.cancel()
+            if not request.future.done:
+                request.future.set_result(("unknown", None))
         self._requests.clear()

@@ -1,0 +1,44 @@
+"""Deterministic fault injection: declarative plans, randomized nemeses.
+
+The paper's claims are about behaviour *under failure* (section 4 view
+changes and crash recovery, section 5 availability comparisons), so this
+package makes failure workloads first-class values:
+
+- :class:`~repro.faults.plan.FaultPlan` -- a scripted, replayable
+  schedule of crashes, recoveries, partitions, and link faults;
+- :class:`~repro.faults.nemesis.Nemesis` -- randomized rules (crash the
+  primary every T, Poisson churn, rolling restarts, majority/minority
+  partitions) driven by the seeded simulation RNG;
+- :class:`~repro.faults.controller.FaultController` -- executes both
+  against a :class:`~repro.runtime.Runtime` (``runtime.faults``) and
+  records every injected event into the metrics and the ledger timeline.
+
+See ``docs/FAULTS.md`` for a walkthrough.
+"""
+
+from repro.faults.controller import FaultController, InjectedFault
+from repro.faults.nemesis import (
+    CrashChurnRule,
+    CrashPrimaryRule,
+    FaultRule,
+    GroupPartitionRule,
+    MuteBackupUplinksRule,
+    Nemesis,
+    PartitionStormRule,
+    RollingRestartRule,
+)
+from repro.faults.plan import FaultPlan
+
+__all__ = [
+    "CrashChurnRule",
+    "CrashPrimaryRule",
+    "FaultController",
+    "FaultPlan",
+    "FaultRule",
+    "GroupPartitionRule",
+    "InjectedFault",
+    "MuteBackupUplinksRule",
+    "Nemesis",
+    "PartitionStormRule",
+    "RollingRestartRule",
+]

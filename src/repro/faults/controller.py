@@ -1,0 +1,262 @@
+"""The fault controller: executes plans and nemeses against a runtime.
+
+One :class:`FaultController` belongs to one
+:class:`~repro.runtime.Runtime` (available as ``runtime.faults``).  It is
+the single gate through which faults enter a simulation:
+
+- **imperative primitives** (``crash``, ``recover``, ``partition``,
+  ``heal``, ``fail_link``, ``degrade_link``, ``lossy``, ...) act on the
+  runtime immediately;
+- **declarative execution** (:meth:`execute`) runs
+  :class:`~repro.faults.plan.FaultPlan` scripts and
+  :class:`~repro.faults.nemesis.Nemesis` rules as simulated processes
+  that call those same primitives.
+
+Every injection -- however it was requested -- is appended to
+:attr:`timeline`, counted in the runtime's metrics
+(``faults_injected:<kind>``), and reported to the transaction ledger, so
+experiments can correlate latency spikes and aborts with the exact fault
+that caused them.  Because all randomness comes from named forks of the
+simulator RNG, re-running the same plan against a same-seed runtime
+reproduces the timeline byte for byte (:meth:`timeline_text`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Optional, Union
+
+from repro.faults import plan as ops
+from repro.faults.nemesis import Nemesis
+from repro.faults.plan import FaultPlan
+from repro.net.link import LinkModel
+from repro.sim.process import Process, sleep, spawn
+
+
+@dataclasses.dataclass(frozen=True)
+class InjectedFault:
+    """One fault that actually happened, at simulated time ``at``."""
+
+    at: float
+    kind: str
+    target: str
+
+    def render(self) -> str:
+        return f"{self.at:.6f} {self.kind} {self.target}".rstrip()
+
+
+class FaultController:
+    """Injects faults into one runtime and records everything it did."""
+
+    def __init__(self, runtime):
+        self.runtime = runtime
+        self.timeline: List[InjectedFault] = []
+        self._processes: List[Process] = []
+        self._default_link = runtime.network.link
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def _record(self, kind: str, target: str = "") -> None:
+        event = InjectedFault(at=self.runtime.sim.now, kind=kind, target=target)
+        self.timeline.append(event)
+        self.runtime.metrics.incr(f"faults_injected:{kind}")
+        self.runtime.ledger.record_fault(kind, target, event.at)
+        self.runtime.sim.trace("fault", fault=kind, target=target)
+
+    def node(self, node_id: str):
+        try:
+            return self.runtime.nodes[node_id]
+        except KeyError:
+            raise KeyError(
+                f"fault targets unknown node {node_id!r}; "
+                f"known: {sorted(self.runtime.nodes)}"
+            ) from None
+
+    def count(self, kind: str) -> int:
+        return sum(1 for event in self.timeline if event.kind == kind)
+
+    def timeline_text(self) -> str:
+        """Canonical rendering of every injected event, for replay checks."""
+        return "\n".join(event.render() for event in self.timeline)
+
+    def spawn(self, generator, name: str) -> Process:
+        process = spawn(self.runtime.sim, generator, name=name)
+        self._processes.append(process)
+        return process
+
+    # -- node faults --------------------------------------------------------
+
+    def crash(self, node_id: str) -> bool:
+        """Fail-stop *node_id* now; False if it was already down."""
+        node = self.node(node_id)
+        if not node.up:
+            return False
+        node.crash()
+        self._record("crash", node_id)
+        return True
+
+    def recover(self, node_id: str) -> bool:
+        """Bring *node_id* back up now; False if it was already up."""
+        node = self.node(node_id)
+        if node.up:
+            return False
+        node.recover()
+        self._record("recover", node_id)
+        return True
+
+    def recover_later(self, node_id: str, delay: float) -> None:
+        self.runtime.sim.schedule(delay, self.recover, node_id)
+
+    def crash_primary(
+        self, groupid: str, recover_after: Optional[float] = None
+    ) -> Optional[str]:
+        """Crash *groupid*'s active primary; returns its node id, if any."""
+        group = self.runtime.groups[groupid]
+        primary = group.active_primary()
+        if primary is None:
+            return None
+        node_id = primary.node.node_id
+        self.crash(node_id)
+        if recover_after is not None:
+            self.recover_later(node_id, recover_after)
+        return node_id
+
+    # -- network faults ------------------------------------------------------
+
+    def partition(self, *blocks: Iterable[str]) -> None:
+        normalized = [set(block) for block in blocks]
+        self.runtime.network.partition(normalized)
+        self._record(
+            "partition",
+            " | ".join(",".join(sorted(block)) for block in normalized),
+        )
+
+    def heal(self) -> None:
+        self.runtime.network.heal()
+        self._record("heal")
+
+    def fail_link(self, node_a: str, node_b: str) -> None:
+        self.runtime.network.fail_link(node_a, node_b)
+        self._record("fail_link", f"{node_a}<->{node_b}")
+
+    def repair_link(self, node_a: str, node_b: str) -> None:
+        self.runtime.network.repair_link(node_a, node_b)
+        self._record("repair_link", f"{node_a}<->{node_b}")
+
+    def degrade_link(
+        self, src_address: str, dst_address: str, model: LinkModel
+    ) -> None:
+        """Override one directed address pair's link behaviour."""
+        self.runtime.network.set_link_model(src_address, dst_address, model)
+        self._record(
+            "degrade_link",
+            f"{src_address}->{dst_address} loss={model.loss_probability}",
+        )
+
+    def restore_link(self, src_address: str, dst_address: str) -> None:
+        self.runtime.network.set_link_model(
+            src_address, dst_address, self._default_link
+        )
+        self._record("restore_link", f"{src_address}->{dst_address}")
+
+    def lossy(
+        self,
+        rate: float,
+        jitter: Optional[float] = None,
+        duplicate: Optional[float] = None,
+    ) -> None:
+        """Degrade the network-wide default link until :meth:`restore_links`."""
+        model = dataclasses.replace(
+            self._default_link,
+            loss_probability=rate,
+            jitter=self._default_link.jitter if jitter is None else jitter,
+            duplicate_probability=(
+                self._default_link.duplicate_probability
+                if duplicate is None
+                else duplicate
+            ),
+        )
+        self.runtime.network.link = model
+        self._record("lossy", f"loss={rate}")
+
+    def restore_links(self) -> None:
+        self.runtime.network.link = self._default_link
+        self._record("restore_links")
+
+    # -- declarative execution ----------------------------------------------
+
+    def execute(
+        self, *sources: Union[FaultPlan, Nemesis]
+    ) -> "FaultController":
+        """Start executing plans/nemeses; faults fire as the clock advances."""
+        for source in sources:
+            if isinstance(source, FaultPlan):
+                self.spawn(self._run_plan(source), name="fault-plan")
+            elif isinstance(source, Nemesis):
+                for rule in source.rules:
+                    rule.start(self)
+            else:
+                raise TypeError(
+                    f"execute() takes FaultPlan or Nemesis, got {source!r}"
+                )
+        return self
+
+    def stop(self) -> None:
+        """Stop all running plans and nemesis rules (injected state stays)."""
+        for process in self._processes:
+            if not process.done:
+                process.interrupt()
+        self._processes.clear()
+
+    def _run_plan(self, fault_plan: FaultPlan):
+        elapsed = 0.0
+        for at, op in fault_plan.ops():
+            if at > elapsed:
+                yield sleep(at - elapsed)
+                elapsed = at
+            self._apply(op)
+
+    def _apply(self, op) -> None:
+        if isinstance(op, ops.Crash):
+            self.crash(op.node_id)
+        elif isinstance(op, ops.Recover):
+            self.recover(op.node_id)
+        elif isinstance(op, ops.CrashPrimary):
+            self.crash_primary(op.groupid, recover_after=op.recover_after)
+        elif isinstance(op, ops.Partition):
+            self.partition(*op.blocks)
+        elif isinstance(op, ops.Heal):
+            self.heal()
+        elif isinstance(op, ops.FailLink):
+            self.fail_link(op.node_a, op.node_b)
+        elif isinstance(op, ops.RepairLink):
+            self.repair_link(op.node_a, op.node_b)
+        elif isinstance(op, ops.FlapLink):
+            self.spawn(self._run_flap(op), name=f"flap:{op.node_a}|{op.node_b}")
+        elif isinstance(op, ops.Lossy):
+            self.lossy(op.rate, jitter=op.jitter, duplicate=op.duplicate)
+            if op.duration is not None:
+                self.runtime.sim.schedule(op.duration, self.restore_links)
+        elif isinstance(op, ops.DegradeLink):
+            self.degrade_link(op.src_address, op.dst_address, op.model)
+        elif isinstance(op, ops.RestoreLink):
+            self.restore_link(op.src_address, op.dst_address)
+        else:  # pragma: no cover - plans can only hold known ops
+            raise TypeError(f"unknown fault op {op!r}")
+
+    def _run_flap(self, op):
+        deadline = self.runtime.sim.now + op.duration
+        while True:
+            self.fail_link(op.node_a, op.node_b)
+            yield sleep(min(op.period, deadline - self.runtime.sim.now))
+            self.repair_link(op.node_a, op.node_b)
+            remaining = deadline - self.runtime.sim.now
+            if remaining <= 0:
+                return
+            yield sleep(min(op.period, remaining))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultController(injected={len(self.timeline)}, "
+            f"running={sum(1 for p in self._processes if not p.done)})"
+        )

@@ -1,0 +1,333 @@
+"""Nemesis: randomized, protocol-aware failure workloads.
+
+Where a :class:`~repro.faults.plan.FaultPlan` scripts faults at fixed
+times against fixed targets, a :class:`Nemesis` carries *rules* that pick
+their victims and timing at run time -- "crash the primary every T",
+Poisson crash/recover churn, rolling restarts, random majority/minority
+partitions.  Every random draw comes from a named fork of the simulator's
+seeded RNG, so a nemesis is exactly as reproducible as a static plan: the
+same seed yields a byte-identical injected-event timeline.
+
+Rules are started by a :class:`~repro.faults.controller.FaultController`
+and inject through its primitives, so everything a nemesis does lands in
+the controller's timeline, the metrics counters, and the ledger.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.net.link import LinkModel
+from repro.sim.process import sleep
+
+
+class FaultRule:
+    """One autonomous failure behaviour; subclasses implement ``run``.
+
+    ``start`` is called once by the controller; the default spawns the
+    rule's ``run`` generator as a controller-tracked process.  Rules that
+    need several concurrent processes (e.g. per-node churn) override
+    ``start`` instead.
+    """
+
+    label = "rule"
+
+    def start(self, controller) -> None:
+        controller.spawn(self.run(controller), name=f"nemesis:{self.label}")
+
+    def run(self, controller):
+        raise NotImplementedError
+
+
+@dataclasses.dataclass
+class CrashPrimaryRule(FaultRule):
+    """Crash *groupid*'s active primary every *every*, *count* times."""
+
+    groupid: str
+    every: float
+    count: int = 1
+    recover_after: Optional[float] = None
+    label = "crash-primary"
+
+    def run(self, controller):
+        for _ in range(self.count):
+            yield sleep(self.every)
+            controller.crash_primary(self.groupid, recover_after=self.recover_after)
+
+
+@dataclasses.dataclass
+class RollingRestartRule(FaultRule):
+    """Restart nodes one at a time: crash, recover after *downtime*."""
+
+    node_ids: Sequence[str]
+    every: float
+    downtime: float
+    rounds: int = 1
+    label = "rolling-restart"
+
+    def run(self, controller):
+        for _ in range(self.rounds):
+            for node_id in self.node_ids:
+                yield sleep(self.every)
+                if controller.crash(node_id):
+                    controller.recover_later(node_id, self.downtime)
+
+
+@dataclasses.dataclass
+class CrashChurnRule(FaultRule):
+    """Poisson crash/recover churn: each node independently fails with
+    exponential MTTF and recovers after exponential MTTR.  ``max_down``
+    caps simultaneous failures (set it to the sub-majority to keep the
+    group formable, or leave uncapped to allow catastrophes)."""
+
+    node_ids: Sequence[str]
+    mttf: float
+    mttr: float
+    max_down: Optional[int] = None
+    rng_name: str = "crash-schedule"
+    label = "crash-churn"
+
+    def start(self, controller) -> None:
+        # One process per node, all drawing from one shared named stream:
+        # the spawn order (node order) makes the draw sequence, and hence
+        # the timeline, deterministic for a given seed.
+        rng = controller.runtime.sim.rng.fork(self.rng_name)
+        for node_id in self.node_ids:
+            controller.spawn(
+                self._churn(controller, node_id, rng), name=f"churn:{node_id}"
+            )
+
+    def _down_count(self, controller) -> int:
+        return sum(
+            1 for node_id in self.node_ids if not controller.node(node_id).up
+        )
+
+    def _churn(self, controller, node_id: str, rng):
+        node = controller.node(node_id)
+        while True:
+            yield sleep(rng.expovariate(1.0 / self.mttf))
+            if self.max_down is not None and self._down_count(controller) >= self.max_down:
+                continue  # hold off; too many already down
+            if not node.up:
+                continue
+            controller.crash(node_id)
+            yield sleep(rng.expovariate(1.0 / self.mttr))
+            if node.up:
+                continue
+            controller.recover(node_id)
+
+
+@dataclasses.dataclass
+class PartitionStormRule(FaultRule):
+    """Repeatedly split the nodes into two random blocks, then heal."""
+
+    node_ids: Sequence[str]
+    mean_healthy: float
+    mean_partitioned: float
+    rng_name: str = "partition-schedule"
+    label = "partition-storm"
+
+    def run(self, controller):
+        rng = controller.runtime.sim.rng.fork(self.rng_name)
+        while True:
+            yield sleep(rng.expovariate(1.0 / self.mean_healthy))
+            ids = list(self.node_ids)
+            rng.shuffle(ids)
+            cut = rng.randint(1, len(ids) - 1)
+            controller.partition(set(ids[:cut]), set(ids[cut:]))
+            yield sleep(rng.expovariate(1.0 / self.mean_partitioned))
+            controller.heal()
+
+
+@dataclasses.dataclass
+class GroupPartitionRule(FaultRule):
+    """Partition a group so its primary lands on a chosen side.
+
+    ``primary_side`` is ``"minority"`` (the paper's interesting case: the
+    old primary is fenced because it cannot force to a sub-majority),
+    ``"majority"`` (the group keeps serving), or ``"random"``.  The
+    minority block is a random sub-majority of the group's nodes.
+    """
+
+    groupid: str
+    every: float
+    duration: float
+    count: int = 1
+    primary_side: str = "minority"
+    rng_name: str = "group-partition"
+    label = "group-partition"
+
+    def run(self, controller):
+        rng = controller.runtime.sim.rng.fork(self.rng_name)
+        group = controller.runtime.groups[self.groupid]
+        for _ in range(self.count):
+            yield sleep(self.every)
+            node_ids = [node.node_id for node in group.nodes()]
+            minority_size = (len(node_ids) - 1) // 2
+            if minority_size < 1:
+                continue  # a group of <= 2 has no strict minority to isolate
+            primary = group.active_primary()
+            primary_node = primary.node.node_id if primary is not None else None
+            side = self.primary_side
+            if side == "random" or primary_node is None:
+                side = rng.choice(("minority", "majority"))
+            others = [nid for nid in node_ids if nid != primary_node]
+            rng.shuffle(others)
+            if primary_node is not None and side == "minority":
+                minority = {primary_node, *others[: minority_size - 1]}
+            else:
+                minority = set(others[:minority_size])
+            majority_block = set(node_ids) - minority
+            controller.partition(minority, majority_block)
+            yield sleep(self.duration)
+            controller.heal()
+
+
+@dataclasses.dataclass
+class MuteBackupUplinksRule(FaultRule):
+    """Asymmetric outage: silence one backup's uplinks, then restore.
+
+    Every *every*, the first non-primary cohort's outgoing links to its
+    peers are overridden with *link* (typically near-total loss) for
+    *duration*: its heartbeats and acks vanish while it still hears the
+    primary, so it never secedes -- the section 4.1 scenario where the
+    primary must either unilaterally edit its view or run a full view
+    change.
+    """
+
+    groupid: str
+    every: float
+    duration: float
+    rounds: int = 1
+    link: LinkModel = dataclasses.field(
+        default_factory=lambda: LinkModel(
+            base_delay=1.0, jitter=0.2, loss_probability=0.9999
+        )
+    )
+    label = "mute-backup-uplinks"
+
+    def run(self, controller):
+        group = controller.runtime.groups[self.groupid]
+        for _ in range(self.rounds):
+            yield sleep(self.every)
+            primary = group.active_primary()
+            if primary is None:
+                continue
+            victim = next(
+                group.cohort(mid)
+                for mid in range(group.size)
+                if mid != primary.mymid
+            )
+            peers = [
+                address
+                for peer, address in victim.configuration
+                if peer != victim.mymid
+            ]
+            for address in peers:
+                controller.degrade_link(victim.address, address, self.link)
+            yield sleep(self.duration)
+            for address in peers:
+                controller.restore_link(victim.address, address)
+
+
+class Nemesis:
+    """A named bundle of randomized failure rules, built fluently::
+
+        nemesis = (
+            Nemesis()
+            .crash_primary("kv", every=300.0, count=10, recover_after=140.0)
+            .partition_storm(node_ids, mean_healthy=600.0, mean_partitioned=400.0)
+        )
+        rt.faults.execute(nemesis)
+    """
+
+    def __init__(self, name: str = "nemesis"):
+        self.name = name
+        self.rules: List[FaultRule] = []
+
+    def _stream(self, kind: str) -> str:
+        return f"{self.name}/{kind}-{len(self.rules)}"
+
+    def add(self, rule: FaultRule) -> "Nemesis":
+        self.rules.append(rule)
+        return self
+
+    def crash_primary(
+        self,
+        groupid: str,
+        every: float,
+        count: int = 1,
+        recover_after: Optional[float] = None,
+    ) -> "Nemesis":
+        return self.add(CrashPrimaryRule(groupid, every, count, recover_after))
+
+    def rolling_restart(
+        self,
+        node_ids: Sequence[str],
+        every: float,
+        downtime: float,
+        rounds: int = 1,
+    ) -> "Nemesis":
+        return self.add(RollingRestartRule(tuple(node_ids), every, downtime, rounds))
+
+    def crash_churn(
+        self,
+        node_ids: Sequence[str],
+        mttf: float,
+        mttr: float,
+        max_down: Optional[int] = None,
+        rng_name: str = "crash-schedule",
+    ) -> "Nemesis":
+        return self.add(
+            CrashChurnRule(tuple(node_ids), mttf, mttr, max_down, rng_name)
+        )
+
+    def partition_storm(
+        self,
+        node_ids: Sequence[str],
+        mean_healthy: float,
+        mean_partitioned: float,
+        rng_name: str = "partition-schedule",
+    ) -> "Nemesis":
+        return self.add(
+            PartitionStormRule(
+                tuple(node_ids), mean_healthy, mean_partitioned, rng_name
+            )
+        )
+
+    def partition_group(
+        self,
+        groupid: str,
+        every: float,
+        duration: float,
+        count: int = 1,
+        primary_side: str = "minority",
+        rng_name: Optional[str] = None,
+    ) -> "Nemesis":
+        return self.add(
+            GroupPartitionRule(
+                groupid,
+                every,
+                duration,
+                count,
+                primary_side,
+                rng_name or self._stream("group-partition"),
+            )
+        )
+
+    def mute_backup_uplinks(
+        self,
+        groupid: str,
+        every: float,
+        duration: float,
+        rounds: int = 1,
+        link: Optional[LinkModel] = None,
+    ) -> "Nemesis":
+        rule = MuteBackupUplinksRule(groupid, every, duration, rounds)
+        if link is not None:
+            rule.link = link
+        return self.add(rule)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Nemesis({self.name!r}, rules={len(self.rules)})"

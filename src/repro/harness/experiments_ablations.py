@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro import Nemesis
 from repro.config import ProtocolConfig
 from repro.harness.common import (
     VIEWCHANGE_MSGS,
@@ -26,7 +27,6 @@ from repro.harness.common import (
 )
 from repro.net.link import LinkModel
 from repro.workloads.loadgen import run_closed_loop
-from repro.workloads.schedules import kill_primary_every
 
 
 def _ablation_run(config: ProtocolConfig, seed: int, txns: int = 80,
@@ -40,7 +40,9 @@ def _ablation_run(config: ProtocolConfig, seed: int, txns: int = 80,
     jobs = kv_jobs(rt, spec, txns, read_fraction=0.3)
     stats = run_closed_loop(rt, driver, "clients", jobs, concurrency=2,
                             think_time=10.0)
-    kill_primary_every(rt, kv, interval=500.0, count=kills, recover_after=240.0)
+    rt.inject(
+        Nemesis().crash_primary("kv", every=500.0, count=kills, recover_after=240.0)
+    )
     drain(rt, stats, txns)
     rt.quiesce()
     rt.check_invariants(require_convergence=False)

@@ -3,7 +3,7 @@
 
 from __future__ import annotations
 
-from repro import EmptyModule, Runtime
+from repro import EmptyModule, Nemesis, Runtime
 from repro.config import ProtocolConfig
 from repro.harness.common import (
     CALL_MSGS,
@@ -16,7 +16,6 @@ from repro.harness.common import (
 )
 from repro.sim.process import sleep, spawn
 from repro.workloads.loadgen import run_closed_loop
-from repro.workloads.schedules import CrashRecoverySchedule, kill_primary_every
 
 
 # ---------------------------------------------------------------------------
@@ -151,8 +150,11 @@ def _vr_availability(n: int, mttf: float, mttr: float, duration: float, seed: in
     if config is None:
         config = ProtocolConfig()
     rt, kv, _clients, driver, spec = build_kv_system(seed=seed, n_cohorts=n, config=config)
-    schedule = CrashRecoverySchedule(rt, kv.nodes(), mttf=mttf, mttr=mttr)
-    schedule.start()
+    rt.inject(
+        Nemesis().crash_churn(
+            [node.node_id for node in kv.nodes()], mttf=mttf, mttr=mttr
+        )
+    )
     outcomes = {"ok": 0, "total": 0}
 
     def prober():
@@ -169,7 +171,7 @@ def _vr_availability(n: int, mttf: float, mttr: float, duration: float, seed: in
 
     spawn(rt.sim, prober(), name="prober")
     rt.run(until=duration + 500)
-    schedule.stop()
+    rt.faults.stop()
     return outcomes["ok"] / max(outcomes["total"], 1)
 
 
@@ -183,9 +185,13 @@ def _voting_availability(n: int, r: int, w: int, mttf: float, mttr: float,
         rt.create_node("vc-node"), rt, "vc", system, read_quorum=r, write_quorum=w,
         op_timeout=20.0,
     )
-    nodes = [replica.node for replica in system.replicas]
-    schedule = CrashRecoverySchedule(rt, nodes, mttf=mttf, mttr=mttr)
-    schedule.start()
+    rt.inject(
+        Nemesis().crash_churn(
+            [replica.node.node_id for replica in system.replicas],
+            mttf=mttf,
+            mttr=mttr,
+        )
+    )
     outcomes = {"ok": 0, "total": 0}
 
     def prober():
@@ -202,7 +208,7 @@ def _voting_availability(n: int, r: int, w: int, mttf: float, mttr: float,
 
     spawn(rt.sim, prober(), name="prober")
     rt.run(until=duration + 500)
-    schedule.stop()
+    rt.faults.stop()
     return outcomes["ok"] / max(outcomes["total"], 1)
 
 
@@ -287,7 +293,9 @@ def _viewchange_loss_run(config: ProtocolConfig, label: str, seed: int,
         for j in range(txns)
     ]
     stats = run_closed_loop(rt, driver, "clients", jobs, concurrency=4)
-    kill_primary_every(rt, kv, interval=450.0, count=kills, recover_after=220.0)
+    rt.inject(
+        Nemesis().crash_primary("kv", every=450.0, count=kills, recover_after=220.0)
+    )
     drain(rt, stats, txns)
     rt.quiesce()
     rt.check_invariants(require_convergence=False)
@@ -350,7 +358,6 @@ def e07_viewchange_loss() -> ExperimentResult:
 
 def e08_safety_partitions(seeds=(1, 2, 3, 4, 5)) -> ExperimentResult:
     from repro.workloads.bank import BankAccountsSpec, total_balance, transfer_program
-    from repro.workloads.schedules import PartitionSchedule
 
     rows = []
     for seed in seeds:
@@ -375,12 +382,14 @@ def e08_safety_partitions(seeds=(1, 2, 3, 4, 5)) -> ExperimentResult:
         ]
         stats = run_closed_loop(rt, driver, "clients", jobs, concurrency=3)
         node_ids = [node.node_id for node in bank.nodes()]
-        schedule = PartitionSchedule(
-            rt, node_ids, mean_healthy=600.0, mean_partitioned=400.0
+        rt.inject(
+            Nemesis().partition_storm(
+                node_ids, mean_healthy=600.0, mean_partitioned=400.0
+            )
         )
-        schedule.start()
         drain(rt, stats, 80, max_time=60_000)
-        schedule.stop()
+        rt.faults.stop()
+        rt.faults.heal()
         rt.quiesce(duration=600)
         violations = 0
         try:
@@ -394,7 +403,7 @@ def e08_safety_partitions(seeds=(1, 2, 3, 4, 5)) -> ExperimentResult:
                 seed,
                 stats.committed,
                 stats.aborted,
-                schedule.partitions_formed,
+                rt.faults.count("partition"),
                 len(rt.ledger.view_changes_for("bank")),
                 "yes" if conserved else "NO",
                 violations,

@@ -212,9 +212,8 @@ def _vr_view_change_cost(n: int, kill_primary: bool, seed: int):
     before_buf = sum(rt.metrics.messages_sent.get(t, 0) for t in BUFFER_MSGS)
     before_changes = len(rt.ledger.view_changes_for("kv"))
     victim = kv.active_primary() if kill_primary else kv.cohort(n - 1)
-    victim_node = victim.node
     crashed_at = rt.sim.now
-    victim_node.crash()
+    rt.faults.crash(victim.node.node_id)
     deadline = rt.sim.now + 5000
     while len(rt.ledger.view_changes_for("kv")) == before_changes and rt.sim.now < deadline:
         rt.run_for(50)

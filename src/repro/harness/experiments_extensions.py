@@ -3,7 +3,7 @@ edits, and end-to-end comparison including the Tandem-style pair."""
 
 from __future__ import annotations
 
-from repro import EmptyModule, Runtime
+from repro import EmptyModule, FaultPlan, Nemesis, Runtime
 from repro.app.module import transaction_program
 from repro.config import ProtocolConfig
 from repro.harness.common import (
@@ -16,7 +16,6 @@ from repro.harness.common import (
 from repro.sim.process import sleep, spawn
 from repro.storage.stable import StableStoragePolicy
 from repro.workloads.loadgen import run_closed_loop
-from repro.workloads.schedules import kill_primary_every
 
 
 # ---------------------------------------------------------------------------
@@ -54,7 +53,9 @@ def _nested_run(program_name: str, seed: int, txns: int = 80, kills: int = 10):
         for j in range(txns)
     ]
     stats = run_closed_loop(rt, driver, "clients", jobs, concurrency=4)
-    kill_primary_every(rt, kv, interval=300.0, count=kills, recover_after=140.0)
+    rt.inject(
+        Nemesis().crash_primary("kv", every=300.0, count=kills, recover_after=140.0)
+    )
     drain(rt, stats, txns)
     rt.quiesce()
     rt.check_invariants(require_convergence=False)
@@ -121,12 +122,13 @@ def _catastrophe_run(policy: StableStoragePolicy, seed: int):
     # volatile state; both recover shortly after.
     primary = kv.active_primary()
     victims = [kv.cohort(mid) for mid in (primary.mymid, (primary.mymid + 1) % 3)]
+    catastrophe = FaultPlan()
     for victim in victims:
-        victim.node.crash()
-    rt.run_for(100)
+        catastrophe.at(0.0).crash(victim.node.node_id)
     for victim in victims:
-        victim.node.recover()
-    rt.run_for(4000)
+        catastrophe.at(100.0).recover(victim.node.node_id)
+    rt.inject(catastrophe)
+    rt.run_for(4100)
     recovered = kv.active_primary() is not None
     violations = 0
     try:
@@ -192,32 +194,16 @@ def _unilateral_run(enabled: bool, seed: int, txns: int = 200):
     jobs = kv_jobs(rt, spec, txns, read_fraction=0.2)
     stats = run_closed_loop(rt, driver, "clients", jobs, concurrency=2,
                             think_time=10.0)
+    # Repeated asymmetric outages: one backup's uplink goes silent for a
+    # stretch (its heartbeats and acks are lost; it still hears the
+    # primary, so it never secedes), then heals.  The primary must
+    # either edit its view (unilateral) or run a full view change.
     dead_uplink = LinkModel(base_delay=1.0, jitter=0.2, loss_probability=0.9999)
-
-    def churn_backups():
-        # Repeated asymmetric outages: one backup's uplink goes silent for a
-        # stretch (its heartbeats and acks are lost; it still hears the
-        # primary, so it never secedes), then heals.  The primary must
-        # either edit its view (unilateral) or run a full view change.
-        for _round in range(5):
-            yield sleep(400.0)
-            primary = kv.active_primary()
-            if primary is None:
-                continue
-            victim = next(
-                kv.cohort(mid) for mid in range(3) if mid != primary.mymid
-            )
-            for peer, address in victim.configuration:
-                if peer != victim.mymid:
-                    rt.network.set_link_model(victim.address, address, dead_uplink)
-            yield sleep(120.0)
-            for peer, address in victim.configuration:
-                if peer != victim.mymid:
-                    rt.network.set_link_model(
-                        victim.address, address, rt.network.link
-                    )
-
-    spawn(rt.sim, churn_backups(), name="backup-churn")
+    rt.inject(
+        Nemesis().mute_backup_uplinks(
+            "kv", every=400.0, duration=120.0, rounds=5, link=dead_uplink
+        )
+    )
     drain(rt, stats, txns)
     rt.quiesce()
     rt.check_invariants(require_convergence=False)
@@ -291,10 +277,10 @@ def _pair_run(ops: int, seed: int, failures: int):
             except RuntimeError:
                 results["failed"] += 1
             if index == ops // 3 and failures >= 1:
-                system.primary.node.crash()
+                rt.faults.crash(system.primary.node.node_id)
                 yield sleep(60.0)
             if index == (2 * ops) // 3 and failures >= 2:
-                system.backup.node.crash()
+                rt.faults.crash(system.backup.node.node_id)
                 yield sleep(60.0)
 
     spawn(rt.sim, run_ops(), name="pair-ops")
@@ -307,17 +293,13 @@ def _vr_survival_run(n: int, ops: int, seed: int, failures: int):
     jobs = kv_jobs(rt, spec, ops, read_fraction=0.0)
     stats = run_closed_loop(rt, driver, "clients", jobs, concurrency=1,
                             think_time=10.0)
+    nemesis = Nemesis()
     if failures >= 1:
-        kill_primary_every(rt, kv, interval=150.0, count=1)
+        nemesis.crash_primary("kv", every=150.0, count=1)
     if failures >= 2:
-
-        def second_kill():
-            yield sleep(450.0)
-            primary = kv.active_primary()
-            if primary is not None:
-                primary.node.crash()
-
-        spawn(rt.sim, second_kill(), name="second-kill")
+        nemesis.crash_primary("kv", every=450.0, count=1)
+    if nemesis.rules:
+        rt.inject(nemesis)
     drain(rt, stats, ops, max_time=15_000)
     return stats.committed, stats.aborted + stats.unknown
 

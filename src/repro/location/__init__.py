@@ -1,5 +1,5 @@
 """The location service (paper section 3)."""
 
-from repro.location.service import LocationService
+from repro.location.service import LocationService, primary_address_in
 
-__all__ = ["LocationService"]
+__all__ = ["LocationService", "primary_address_in"]

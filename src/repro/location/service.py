@@ -16,7 +16,17 @@ membership lookup is oracular.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Iterable, Optional, Tuple
+
+
+def primary_address_in(configuration: Iterable[Tuple[int, str]], view) -> Optional[str]:
+    """The address of *view*'s primary within a (mid, address) configuration."""
+    if view is None:
+        return None
+    for mid, address in configuration:
+        if mid == view.primary:
+            return address
+    return None
 
 
 class LocationService:
@@ -34,6 +44,10 @@ class LocationService:
         if groupid not in self._configurations:
             raise KeyError(f"unknown group {groupid!r}")
         return self._configurations[groupid]
+
+    def primary_address(self, groupid: str, view) -> Optional[str]:
+        """The registered address of *view*'s primary, or None if absent."""
+        return primary_address_in(self.lookup(groupid), view)
 
     def groups(self):
         return tuple(self._configurations)

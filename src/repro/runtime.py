@@ -33,6 +33,7 @@ from repro.analysis.metrics import Metrics
 from repro.config import ProtocolConfig
 from repro.core.group import ModuleGroup
 from repro.driver import Driver
+from repro.faults.controller import FaultController
 from repro.location.service import LocationService
 from repro.net.link import LAN, LinkModel
 from repro.net.network import Network
@@ -59,6 +60,7 @@ class Runtime:
         self.nodes: Dict[str, Node] = {}
         self.groups: Dict[str, ModuleGroup] = {}
         self.drivers: List[Driver] = []
+        self.faults = FaultController(self)
 
     # -- factories ------------------------------------------------------------
 
@@ -83,6 +85,16 @@ class Runtime:
         discussion in section 5 assumes primaries of different groups run
         on different nodes; pass ``nodes`` to co-locate explicitly).
         """
+        if nodes is None and n_cohorts < 1:
+            raise ValueError(
+                f"create_group({groupid!r}): n_cohorts must be >= 1, "
+                f"got {n_cohorts}"
+            )
+        if nodes is not None and len(nodes) < 1:
+            raise ValueError(
+                f"create_group({groupid!r}): need at least one node, "
+                f"got an empty list"
+            )
         if nodes is None:
             nodes = [
                 self.create_node(f"{groupid}-n{i}") for i in range(n_cohorts)
@@ -107,6 +119,12 @@ class Runtime:
         if node is None:
             node = self.create_node(f"{name}-node")
         return ClientAgent(node, self, name, coordinator_group)
+
+    # -- fault injection ---------------------------------------------------------
+
+    def inject(self, *sources) -> "FaultController":
+        """Execute fault plans / nemeses; see :mod:`repro.faults`."""
+        return self.faults.execute(*sources)
 
     # -- execution --------------------------------------------------------------
 

@@ -1,7 +1,14 @@
-"""Failure schedules: crash/recover churn and partitions, seeded.
+"""Compatibility shims over :mod:`repro.faults`.
 
-Used by the availability experiments (E6), the view-change-loss
-experiments (E7), and the chaos integration tests.
+The hand-rolled failure schedules that used to live here are now rules of
+the declarative fault-injection subsystem (:class:`~repro.faults.Nemesis`
+executed by a :class:`~repro.faults.FaultController`).  These wrappers
+keep the old call signatures -- and, because the rules draw from the same
+named RNG streams ("crash-schedule", "partition-schedule"), the old
+per-seed behaviour -- while routing every injection through a controller
+so it lands in the fault timeline, the metrics, and the ledger.
+
+New code should use :mod:`repro.faults` directly; see ``docs/FAULTS.md``.
 """
 
 from __future__ import annotations
@@ -9,7 +16,7 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional
 
-from repro.sim.process import sleep, spawn
+from repro.faults import FaultController, Nemesis
 
 
 @dataclasses.dataclass
@@ -20,7 +27,7 @@ class CrashEvent:
 
 
 class CrashRecoverySchedule:
-    """Poisson crash/recover churn over a group's nodes.
+    """Poisson crash/recover churn over a group's nodes (legacy wrapper).
 
     Each node independently fails with exponential MTTF and recovers after
     exponential MTTR.  ``max_down`` caps simultaneous failures (set it to
@@ -39,47 +46,32 @@ class CrashRecoverySchedule:
     ):
         self.runtime = runtime
         self.nodes = list(nodes)
-        self.mttf = mttf
-        self.mttr = mttr
-        self.max_down = max_down
-        self.rng = runtime.sim.rng.fork(rng_name)
-        self.events: List[CrashEvent] = []
-        self._stopped = False
+        self.controller = FaultController(runtime)
+        self._nemesis = Nemesis().crash_churn(
+            [node.node_id for node in self.nodes],
+            mttf=mttf,
+            mttr=mttr,
+            max_down=max_down,
+            rng_name=rng_name,
+        )
 
     def start(self) -> None:
-        for node in self.nodes:
-            spawn(self.runtime.sim, self._churn(node), name=f"churn:{node.node_id}")
+        self.controller.execute(self._nemesis)
 
     def stop(self) -> None:
-        self._stopped = True
+        self.controller.stop()
 
-    def _down_count(self) -> int:
-        return sum(1 for node in self.nodes if not node.up)
-
-    def _churn(self, node):
-        while not self._stopped:
-            yield sleep(self.rng.expovariate(1.0 / self.mttf))
-            if self._stopped:
-                return
-            if self.max_down is not None and self._down_count() >= self.max_down:
-                continue  # hold off; too many already down
-            if not node.up:
-                continue
-            node.crash()
-            self.events.append(
-                CrashEvent(at=self.runtime.sim.now, node_id=node.node_id, kind="crash")
-            )
-            yield sleep(self.rng.expovariate(1.0 / self.mttr))
-            if node.up or self._stopped:
-                continue
-            node.recover()
-            self.events.append(
-                CrashEvent(at=self.runtime.sim.now, node_id=node.node_id, kind="recover")
-            )
+    @property
+    def events(self) -> List[CrashEvent]:
+        return [
+            CrashEvent(at=event.at, node_id=event.target, kind=event.kind)
+            for event in self.controller.timeline
+            if event.kind in ("crash", "recover")
+        ]
 
 
 class PartitionSchedule:
-    """Repeatedly partition a set of nodes into two random blocks and heal."""
+    """Repeatedly partition nodes into two random blocks (legacy wrapper)."""
 
     def __init__(
         self,
@@ -90,51 +82,38 @@ class PartitionSchedule:
         rng_name: str = "partition-schedule",
     ):
         self.runtime = runtime
-        self.node_ids = list(node_ids)
-        self.mean_healthy = mean_healthy
-        self.mean_partitioned = mean_partitioned
-        self.rng = runtime.sim.rng.fork(rng_name)
-        self.partitions_formed = 0
-        self._stopped = False
+        self.controller = FaultController(runtime)
+        self._nemesis = Nemesis().partition_storm(
+            list(node_ids),
+            mean_healthy=mean_healthy,
+            mean_partitioned=mean_partitioned,
+            rng_name=rng_name,
+        )
 
     def start(self) -> None:
-        spawn(self.runtime.sim, self._run(), name="partition-schedule")
+        self.controller.execute(self._nemesis)
 
     def stop(self) -> None:
-        self._stopped = True
+        self.controller.stop()
         self.runtime.network.heal()
 
-    def _run(self):
-        while not self._stopped:
-            yield sleep(self.rng.expovariate(1.0 / self.mean_healthy))
-            if self._stopped:
-                return
-            ids = list(self.node_ids)
-            self.rng.shuffle(ids)
-            cut = self.rng.randint(1, len(ids) - 1)
-            self.runtime.network.partition([set(ids[:cut]), set(ids[cut:])])
-            self.partitions_formed += 1
-            yield sleep(self.rng.expovariate(1.0 / self.mean_partitioned))
-            self.runtime.network.heal()
+    @property
+    def partitions_formed(self) -> int:
+        return self.controller.count("partition")
 
 
 def kill_primary_every(runtime, group, interval: float, count: int,
-                       recover_after: Optional[float] = None):
+                       recover_after: Optional[float] = None) -> FaultController:
     """Crash the group's current primary every *interval*, *count* times.
 
     With ``recover_after`` set, each victim recovers that much later
     (otherwise victims stay down, so keep ``count`` below the majority).
+    Legacy wrapper around ``Nemesis().crash_primary(...)``.
     """
-
-    def run():
-        for _ in range(count):
-            yield sleep(interval)
-            primary = group.active_primary()
-            if primary is None:
-                continue
-            victim = primary.node
-            victim.crash()
-            if recover_after is not None:
-                runtime.sim.schedule(recover_after, victim.recover)
-
-    return spawn(runtime.sim, run(), name=f"kill-primary:{group.groupid}")
+    controller = FaultController(runtime)
+    controller.execute(
+        Nemesis().crash_primary(
+            group.groupid, every=interval, count=count, recover_after=recover_after
+        )
+    )
+    return controller

@@ -69,6 +69,46 @@ def test_driver_duplicate_outcome_suppressed(counter_system):
     assert future.result() == first
 
 
+def test_driver_crash_resolves_pending_to_unknown(counter_system):
+    """A driver crash must not strand callers: every in-flight submission
+    resolves to ("unknown", None) and its retry timer is cancelled."""
+    rt, _counter, _clients, driver = counter_system
+    futures = [driver.submit("clients", "bump", 1) for _ in range(3)]
+    assert not any(future.done for future in futures)
+    rt.faults.crash(driver.node.node_id)
+    assert all(future.result() == ("unknown", None) for future in futures)
+    assert not driver._requests
+    rt.run_for(2000)  # stale timers must not fire into the cleared table
+
+
+def test_driver_submit_rejects_non_positive_timeout(counter_system):
+    _rt, _counter, _clients, driver = counter_system
+    with pytest.raises(ValueError):
+        driver.submit("clients", "bump", 1, timeout=0)
+    with pytest.raises(ValueError):
+        driver.submit("clients", "bump", 1, timeout=-5.0)
+
+
+def test_driver_submit_timeout_overrides_default(counter_system):
+    rt, _counter, _clients, driver = counter_system
+    driver.submit("clients", "bump", 1, timeout=77.0)
+    (request,) = driver._requests.values()
+    assert request.timeout == 77.0
+    driver.submit("clients", "bump", 1)
+    default = [r for r in driver._requests.values() if r.timeout != 77.0]
+    assert default and default[0].timeout == rt.config.call_timeout * 2
+
+
+def test_create_group_requires_at_least_one_cohort():
+    from repro import EmptyModule, Runtime
+
+    rt = Runtime(seed=1)
+    with pytest.raises(ValueError, match="n_cohorts"):
+        rt.create_group("empty", EmptyModule(), n_cohorts=0)
+    with pytest.raises(ValueError):
+        rt.create_group("empty", EmptyModule(), nodes=[])
+
+
 def test_driver_request_ids_unique(counter_system):
     rt, _counter, _clients, driver = counter_system
     f1 = driver.submit("clients", "bump", 1)
