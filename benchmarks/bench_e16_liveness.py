@@ -1,0 +1,13 @@
+"""Experiment E16: liveness under lossy networks, adaptive vs fixed.
+
+Regenerates the E16 table of EXPERIMENTS.md.
+"""
+
+from repro.harness import e16_liveness
+
+from helpers import run_experiment
+
+
+def test_e16_liveness(benchmark):
+    result = run_experiment(benchmark, e16_liveness)
+    assert result.rows, "experiment produced no rows"

@@ -47,7 +47,7 @@ from repro.config import ProtocolConfig
 from repro.core import ModuleGroup, View, ViewId, Viewstamp
 from repro.driver import Driver
 from repro.faults import FaultController, FaultPlan, Nemesis
-from repro.net.link import LAN, LOSSY, LinkModel
+from repro.net.link import LAN, LOSSY, WAN, LinkModel
 from repro.runtime import Runtime
 from repro.storage.stable import StableStoragePolicy
 
@@ -61,6 +61,7 @@ __all__ = [
     "FaultPlan",
     "LAN",
     "LOSSY",
+    "WAN",
     "LinkModel",
     "ModuleGroup",
     "ModuleSpec",

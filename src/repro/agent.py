@@ -22,6 +22,7 @@ from typing import Any, Dict, Optional, Tuple
 from repro.core import messages as m
 from repro.core.cache import ClientCache
 from repro.core.calls import CallAborted, RemoteCaller
+from repro.detect import AdaptiveTimeouts, RttEstimator
 from repro.sim.errors import CancelledError
 from repro.sim.future import Future
 from repro.sim.node import Actor, Node
@@ -74,6 +75,8 @@ class ClientAgent(Actor):
         self.coordinator_group = coordinator_group
         self.metrics = runtime.metrics
         self.cache = ClientCache()
+        self.rtt = RttEstimator()  # fed by RemoteCaller.on_reply
+        self.timeouts = AdaptiveTimeouts(self.config, self.rtt)
         self.caller = RemoteCaller(self)
         self._next_request = 0
         self._begin_waiters: Dict[int, Future] = {}
@@ -143,6 +146,8 @@ class ClientAgent(Actor):
             if future is not None and not future.done:
                 future.set_exception(CallAborted("coordinator-server unreachable"))
             return
+        # Fixed interval on purpose: patience here is retry-count based, and
+        # a begin must outlive a full view change at the coordinator group.
         self.set_timer(
             self.config.call_timeout, self._send_begin, request_id, retries - 1
         )

@@ -43,6 +43,17 @@ class FaultEvent:
     target: str
 
 
+@dataclasses.dataclass
+class DetectorEvent:
+    """A failure-detector opinion change at one cohort (repro.detect)."""
+
+    at: float
+    kind: str  # "suspect" | "trust"
+    groupid: str
+    observer: int  # mid whose detector changed its mind
+    target: int    # mid being judged
+
+
 class TransactionLedger:
     """Ground-truth record of everything that was decided during a run."""
 
@@ -54,6 +65,7 @@ class TransactionLedger:
         self.view_changes: List[ViewChangeEvent] = []
         self.view_change_started: List[Tuple[str, float]] = []
         self.faults: List[FaultEvent] = []
+        self.detector_events: List[DetectorEvent] = []
 
     def _now(self) -> float:
         return self._clock() if self._clock is not None else 0.0
@@ -84,6 +96,16 @@ class TransactionLedger:
         """Injected-fault timeline entry, so analysis can correlate
         latency spikes and aborts with the fault that caused them."""
         self.faults.append(FaultEvent(at=at, kind=kind, target=target))
+
+    def record_detector_event(
+        self, kind: str, groupid: str, observer: int, target: int, at: float
+    ) -> None:
+        """Suspicion/trust transition from a cohort's failure detector."""
+        self.detector_events.append(
+            DetectorEvent(
+                at=at, kind=kind, groupid=groupid, observer=observer, target=target
+            )
+        )
 
     def record_view_change(self, groupid: str, viewid, primary: int) -> None:
         self.view_changes.append(
@@ -128,6 +150,28 @@ class TransactionLedger:
 
     def view_changes_for(self, groupid: str) -> List[ViewChangeEvent]:
         return [event for event in self.view_changes if event.groupid == groupid]
+
+    def view_change_durations(self, groupid: str) -> List[float]:
+        """Convergence times: each completion paired with the earliest
+        still-unconsumed start at or before it.  Overlapping manager
+        attempts between two completions count as one outage, measured
+        from the first signal that a change was needed."""
+        starts = sorted(
+            at for group, at in self.view_change_started if group == groupid
+        )
+        durations: List[float] = []
+        consumed = 0
+        for event in sorted(
+            self.view_changes_for(groupid), key=lambda e: e.completed_at
+        ):
+            begin = None
+            while consumed < len(starts) and starts[consumed] <= event.completed_at:
+                if begin is None:
+                    begin = starts[consumed]
+                consumed += 1
+            if begin is not None:
+                durations.append(event.completed_at - begin)
+        return durations
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

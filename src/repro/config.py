@@ -32,6 +32,19 @@ class ProtocolConfig:
     im_alive_interval: float = 10.0       # heartbeat period
     suspect_multiplier: float = 3.5       # missed-heartbeat threshold, in periods
 
+    # -- adaptive detection & retry pacing (beyond the paper; repro.detect) --
+    adaptive_timeouts: bool = True        # derive operational timeouts from
+    #                                       live RTT estimates and use accrual
+    #                                       suspicion; False restores the
+    #                                       paper-faithful fixed constants
+    min_timeout: float = 5.0              # floor for any RTT-derived timeout
+    backoff_multiplier: float = 2.0       # exponential retry growth factor
+    backoff_cap: float = 8.0              # retry delay cap, in base delays
+    backoff_jitter: float = 0.5           # retry jitter spread (delay scaled
+    #                                       by 1 +/- jitter/2, seeded RNG)
+    promotion_jitter: float = 0.5         # underling->manager timeout spread,
+    #                                       desynchronizing competing managers
+
     # -- view change (section 4, figure 5) --
     invite_timeout: float = 40.0          # manager waits this long for accepts
     underling_timeout: float = 80.0       # underling -> manager on silence

@@ -31,6 +31,7 @@ from repro.core.messages import (
     ViewProbeReplyMsg,
 )
 from repro.core.viewstamp import ViewId
+from repro.detect import Backoff
 from repro.location.service import primary_address_in
 from repro.sim.errors import SimulationError
 from repro.sim.future import Future
@@ -67,6 +68,11 @@ class _OutstandingCall:
     piggyback: Any = None
     aborted_subactions: Tuple = ()
     started_at: float = 0.0
+    # Adaptive mode: retransmit on an RTT-derived backoff schedule, but give
+    # up only at the deadline -- the fixed configuration's total patience
+    # (call_timeout * call_probes) is preserved exactly.
+    deadline: Optional[float] = None
+    backoff: Any = None
 
 
 class RemoteCaller:
@@ -80,6 +86,17 @@ class RemoteCaller:
     def __init__(self, host):
         self.host = host
         self._outstanding: Dict[CallId, _OutstandingCall] = {}
+        # Named fork: adding consumers elsewhere never perturbs this stream.
+        self._rng = host.sim.rng.fork(f"call-backoff/{host.address}")
+
+    def _live_call_timeout(self) -> float:
+        """The per-attempt wait: RTT-derived when the host carries an
+        :class:`~repro.detect.AdaptiveTimeouts`, the fixed constant
+        otherwise (and always the fixed constant in paper-faithful mode)."""
+        timeouts = getattr(self.host, "timeouts", None)
+        if timeouts is not None:
+            return timeouts.call_timeout()
+        return self.host.config.call_timeout
 
     # -- API ----------------------------------------------------------------
 
@@ -95,6 +112,7 @@ class RemoteCaller:
     ) -> Future:
         """Start a remote call; the future resolves to (result, pset_pairs)."""
         future = Future(label=f"call:{call_id}")
+        config = self.host.config
         state = _OutstandingCall(
             call_id=call_id,
             aid=aid,
@@ -102,12 +120,20 @@ class RemoteCaller:
             proc=proc,
             args=args,
             future=future,
-            attempts_left=self.host.config.call_probes,
+            attempts_left=config.call_probes,
             view_switches_left=_MAX_VIEW_SWITCHES,
             piggyback=piggyback,
             aborted_subactions=tuple(aborted_subactions),
             started_at=self.host.sim.now,
         )
+        if config.adaptive_timeouts:
+            state.backoff = Backoff(
+                config.call_timeout,
+                self._rng,
+                multiplier=config.backoff_multiplier,
+                cap_factor=config.backoff_cap,
+                jitter=config.backoff_jitter,
+            )
         self._outstanding[call_id] = state
         self._dispatch(state)
         return future
@@ -148,9 +174,23 @@ class RemoteCaller:
             ),
         )
         state.attempts_left -= 1
-        state.timer = self.host.set_timer(
-            self.host.config.call_timeout, self._on_timeout, state.call_id
-        )
+        config = self.host.config
+        if state.backoff is None:
+            delay = config.call_timeout
+        else:
+            now = self.host.sim.now
+            if state.deadline is None:
+                state.deadline = now + config.call_timeout * max(
+                    1, config.call_probes
+                )
+            delay = max(
+                min(
+                    state.backoff.next(self._live_call_timeout()),
+                    state.deadline - now,
+                ),
+                0.0,
+            )
+        state.timer = self.host.set_timer(delay, self._on_timeout, state.call_id)
 
     def _probe(self, state: _OutstandingCall) -> None:
         """Discover the group's current primary by asking its cohorts."""
@@ -180,12 +220,14 @@ class RemoteCaller:
             return  # late reply for a call we gave up on
         if state.timer is not None:
             state.timer.cancel()
+        latency = self.host.sim.now - state.started_at
         metrics = getattr(self.host, "metrics", None)
         if metrics is not None:
-            metrics.observe("call_latency", self.host.sim.now - state.started_at)
-            metrics.observe(
-                f"call_latency:{state.groupid}", self.host.sim.now - state.started_at
-            )
+            metrics.observe("call_latency", latency)
+            metrics.observe(f"call_latency:{state.groupid}", latency)
+        rtt = getattr(self.host, "rtt", None)
+        if rtt is not None:
+            rtt.observe(latency)
         state.future.set_result((msg.result, msg.pset_pairs, msg.piggyback))
 
     def on_call_failed(self, msg: CallFailedMsg) -> None:
@@ -213,6 +255,11 @@ class RemoteCaller:
             return
         state.view_switches_left -= 1
         state.attempts_left = self.host.config.call_probes
+        if state.backoff is not None:
+            # Fresh target: restart the retransmission schedule and grant
+            # the full patience window again (as attempts_left does above).
+            state.backoff.reset()
+            state.deadline = None
         if moved or self.host.cache.get(state.groupid) is not None:
             self._dispatch(state)
         else:
@@ -236,9 +283,19 @@ class RemoteCaller:
         state = self._outstanding.get(call_id)
         if state is None:
             return
-        if state.attempts_left > 0:
+        if state.backoff is not None:
+            retry = (
+                state.deadline is not None
+                and self.host.sim.now < state.deadline - 1e-9
+            )
+        else:
+            retry = state.attempts_left > 0
+        if retry:
             # Probe: re-send the same call id to the same primary; the
             # server's duplicate table makes this safe.
+            metrics = getattr(self.host, "metrics", None)
+            if metrics is not None:
+                metrics.incr("call_retransmits")
             self._transmit(state)
         else:
             # "The transaction must abort...  we also attempt to update the

@@ -74,6 +74,7 @@ class _RunningTxn:
     txn: Transaction
     future: Future  # resolves to (outcome, result)
     prepare_round: int = 0
+    prepare_deadline: Optional[float] = None
     prepare_timer: Any = None
     prepare_ok: Dict[str, bool] = dataclasses.field(default_factory=dict)
     commit_waiting: Set[str] = dataclasses.field(default_factory=set)
@@ -327,8 +328,14 @@ class ClientRole:
             return
         state.prepare_ok = {}
         self._send_prepares(state, participants)
+        # Adaptive mode probes missing participants at an RTT-derived pace,
+        # but the abort decision keeps the fixed configuration's total
+        # patience (_MAX_PREPARE_ROUNDS * prepare_timeout).
+        state.prepare_deadline = (
+            cohort.sim.now + _MAX_PREPARE_ROUNDS * cohort.config.prepare_timeout
+        )
         state.prepare_timer = cohort.set_timer(
-            cohort.config.prepare_timeout, self._prepare_retry, state
+            cohort.timeouts.prepare_timeout(), self._prepare_retry, state
         )
 
     def _send_prepares(self, state: _RunningTxn, groupids) -> None:
@@ -354,7 +361,14 @@ class ClientRole:
         if txn.phase != "preparing" or txn.aid not in self._txns:
             return
         state.prepare_round += 1
-        if state.prepare_round >= _MAX_PREPARE_ROUNDS:
+        if cohort.config.adaptive_timeouts:
+            out_of_patience = (
+                state.prepare_deadline is not None
+                and cohort.sim.now >= state.prepare_deadline - 1e-9
+            )
+        else:
+            out_of_patience = state.prepare_round >= _MAX_PREPARE_ROUNDS
+        if out_of_patience:
             # "If a more recent view cannot be discovered... abort."
             self._abort_txn(state, reason="participants unreachable at prepare")
             return
@@ -368,7 +382,7 @@ class ClientRole:
                 cohort.send(address, m.ViewProbeMsg(reply_to=cohort.address))
         self._send_prepares(state, missing)
         state.prepare_timer = cohort.set_timer(
-            cohort.config.prepare_timeout, self._prepare_retry, state
+            cohort.timeouts.prepare_timeout(), self._prepare_retry, state
         )
 
     def on_prepare_ok(self, msg: m.PrepareOkMsg) -> None:
@@ -427,7 +441,10 @@ class ClientRole:
             return
         self._send_commits(txn.aid, plist, pset_pairs)
         state.commit_timer = cohort.set_timer(
-            cohort.config.commit_retry_interval, self._commit_retry, txn.aid, pset_pairs
+            cohort.timeouts.commit_retry_interval(),
+            self._commit_retry,
+            txn.aid,
+            pset_pairs,
         )
 
     def _send_commits(self, aid: Aid, groupids, pset_pairs) -> None:
@@ -455,7 +472,10 @@ class ClientRole:
                 cohort.send(address, m.ViewProbeMsg(reply_to=cohort.address))
         self._send_commits(aid, sorted(state.commit_waiting), pset_pairs)
         state.commit_timer = cohort.set_timer(
-            cohort.config.commit_retry_interval, self._commit_retry, aid, pset_pairs
+            cohort.timeouts.commit_retry_interval(),
+            self._commit_retry,
+            aid,
+            pset_pairs,
         )
 
     def on_commit_ack(self, msg: m.CommitAckMsg) -> None:

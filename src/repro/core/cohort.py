@@ -43,6 +43,7 @@ from repro.core.events import (
 )
 from repro.core.view import View, majority
 from repro.core.viewstamp import History, ViewId, Viewstamp
+from repro.detect import AdaptiveTimeouts, FailureDetector, RttEstimator
 from repro.sim.future import Future
 from repro.sim.node import Actor, Node
 from repro.storage.stable import StableStoragePolicy, StableStore
@@ -127,6 +128,14 @@ class Cohort(Actor):
         self.last_heard: Dict[int, float] = {
             peer: 0.0 for peer, _addr in configuration if peer != mid
         }
+        self.detect = FailureDetector(
+            config,
+            peers=[peer for peer, _addr in configuration if peer != mid],
+            clock=lambda: self.sim.now,
+            on_transition=self._on_suspicion_transition,
+        )
+        self.rtt = RttEstimator()
+        self.timeouts = AdaptiveTimeouts(config, self.rtt)
         self._change_pending_since: Optional[float] = None
         self._epoch = 0  # bumped on every status transition; guards timers
 
@@ -494,7 +503,12 @@ class Cohort(Actor):
     def _heartbeat(self) -> None:
         for peer, address in self.configuration:
             if peer != self.mymid:
-                self.send(address, m.ImAliveMsg(mid=self.mymid, viewid=self.cur_viewid))
+                self.send(
+                    address,
+                    m.ImAliveMsg(
+                        mid=self.mymid, viewid=self.cur_viewid, sent_at=self.sim.now
+                    ),
+                )
         if self.status is Status.ACTIVE:
             self._liveness_sweep()
         self.set_timer(self.config.im_alive_interval, self._heartbeat)
@@ -502,6 +516,7 @@ class Cohort(Actor):
     def _handle_im_alive(self, msg: m.ImAliveMsg) -> None:
         previously_silent = self._is_suspect(msg.mid)
         self.last_heard[msg.mid] = self.sim.now
+        self.detect.heard(msg.mid, sent_at=msg.sent_at)
         if (
             self.status is Status.ACTIVE
             and previously_silent
@@ -514,7 +529,19 @@ class Cohort(Actor):
             self._liveness_sweep()
 
     def _is_suspect(self, mid: int) -> bool:
-        return self.sim.now - self.last_heard.get(mid, 0.0) > self.config.suspect_timeout()
+        return self.detect.is_suspect(mid)
+
+    def _on_suspicion_transition(self, mid: int, suspected: bool) -> None:
+        """The failure detector changed its mind about a peer."""
+        if suspected:
+            self.metrics.incr(f"detector_suspicions:{self.mygroupid}")
+        self.runtime.ledger.record_detector_event(
+            kind="suspect" if suspected else "trust",
+            groupid=self.mygroupid,
+            observer=self.mymid,
+            target=mid,
+            at=self.sim.now,
+        )
 
     def _liveness_sweep(self) -> None:
         view_suspects = [
@@ -748,6 +775,9 @@ class Cohort(Actor):
         self.committing = {}
         self.cache = ClientCache()
         self.caller = RemoteCaller(self)
+        # Call round-trip history died with the process; last-heard times
+        # are kept (as before) so recent heartbeats still count as liveness.
+        self.rtt.reset()
         self.server_role.reset()
         self.client_role.reset()
         self.coordinator_role.reset()

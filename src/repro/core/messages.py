@@ -196,10 +196,16 @@ class BufferAckMsg(Message):
 
 @dataclasses.dataclass
 class ImAliveMsg(Message):
-    """Periodic liveness beacon among cohorts of one configuration."""
+    """Periodic liveness beacon among cohorts of one configuration.
+
+    ``sent_at`` stamps the sender's clock so the receiver's failure
+    detector can derive a round-trip sample (the simulator's clock is
+    global, so one-way delay doubled is exact).  Optional for
+    compatibility with hand-built messages in tests."""
 
     mid: int
     viewid: ViewId
+    sent_at: Optional[float] = None
 
 
 @dataclasses.dataclass

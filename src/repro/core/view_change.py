@@ -32,6 +32,7 @@ from repro.core import messages as m
 from repro.core.events import NewView
 from repro.core.view import View, majority
 from repro.core.viewstamp import ViewId, Viewstamp
+from repro.detect import Backoff
 
 
 class ViewChangeController:
@@ -43,9 +44,35 @@ class ViewChangeController:
         self._invite_timer = None
         self._await_timer = None
         self._retry_timer = None
+        self._retransmit_timer = None
         self._installing = False
         self._manage_rounds = 0
         self._formed = False
+        # Created lazily: form_view() is also exercised standalone with
+        # fake cohorts that have no simulator attached.
+        self._retry_backoff: Optional[Backoff] = None
+        self._await_rng = None
+
+    def _backoff(self) -> Backoff:
+        if self._retry_backoff is None:
+            cohort = self.cohort
+            config = cohort.config
+            self._retry_backoff = Backoff(
+                config.view_retry_delay,
+                cohort.runtime.sim.rng.fork(f"vc-backoff/{cohort.address}"),
+                multiplier=config.backoff_multiplier,
+                cap_factor=config.backoff_cap,
+                jitter=config.backoff_jitter,
+            )
+        return self._retry_backoff
+
+    def _jitter_rng(self):
+        if self._await_rng is None:
+            cohort = self.cohort
+            self._await_rng = cohort.runtime.sim.rng.fork(
+                f"vc-await/{cohort.address}"
+            )
+        return self._await_rng
 
     def reset(self) -> None:
         """Drop controller state after a crash (timers died with the node)."""
@@ -53,9 +80,12 @@ class ViewChangeController:
         self._invite_timer = None
         self._await_timer = None
         self._retry_timer = None
+        self._retransmit_timer = None
         self._installing = False
         self._manage_rounds = 0
         self._formed = False
+        if self._retry_backoff is not None:
+            self._retry_backoff.reset()
 
     # ------------------------------------------------------------------
     # becoming a manager
@@ -81,7 +111,11 @@ class ViewChangeController:
 
     def _make_invitations(self) -> None:
         """Figure 5: mint a new viewid, invite everyone, await responses."""
+        from repro.core.cohort import Status
+
         cohort = self.cohort
+        if cohort.status is not Status.VIEW_MANAGER:
+            return  # a stale retry timer fired after we stopped managing
         cohort.max_viewid = cohort.max_viewid.next_for(cohort.mymid)
         self._manage_rounds += 1
         self._formed = False
@@ -95,6 +129,44 @@ class ViewChangeController:
         self._invite_timer = cohort.set_timer(
             cohort.config.invite_timeout, self._attempt_formation
         )
+        if cohort.config.adaptive_timeouts:
+            self._arm_invite_retransmit()
+
+    def _arm_invite_retransmit(self) -> None:
+        """Mid-round invite re-sends: a dropped invite or accept must not
+        stall the round for the whole ``invite_timeout``.  The period comes
+        from the detector's learned RTO (a couple of round trips), bounded
+        so a round sees at least one retransmission."""
+        cohort = self.cohort
+        rto = cohort.detect.group_rto()
+        if rto is not None:
+            period = max(cohort.config.min_timeout, 2.0 * rto)
+        else:
+            period = cohort.config.invite_timeout / 4.0
+        period = min(period, cohort.config.invite_timeout / 2.0)
+        self._retransmit_timer = cohort.set_timer(period, self._retransmit_invites)
+
+    def _retransmit_invites(self) -> None:
+        from repro.core.cohort import Status
+
+        cohort = self.cohort
+        self._retransmit_timer = None
+        if cohort.status is not Status.VIEW_MANAGER or self._formed:
+            return
+        resent = 0
+        for peer, address in cohort.configuration:
+            if peer == cohort.mymid or peer in self._responses:
+                continue
+            if cohort._is_suspect(peer):
+                continue  # looks dead; formation will not wait for it either
+            cohort.send(
+                address,
+                m.InviteMsg(viewid=cohort.max_viewid, manager_mid=cohort.mymid),
+            )
+            resent += 1
+        if resent:
+            cohort.metrics.incr(f"invite_retransmits:{cohort.mygroupid}", resent)
+        self._arm_invite_retransmit()
 
     def _own_acceptance(self) -> m.AcceptMsg:
         cohort = self.cohort
@@ -148,9 +220,13 @@ class ViewChangeController:
 
     def _arm_await_timer(self) -> None:
         cohort = self.cohort
-        self._await_timer = cohort.set_timer(
-            cohort.config.underling_timeout, self._await_timeout
-        )
+        delay = cohort.config.underling_timeout
+        if cohort.config.adaptive_timeouts and cohort.config.promotion_jitter > 0.0:
+            # Spread promotions out so underlings of a dead manager do not
+            # all become competing managers at the same instant.  Jitter
+            # only ever *extends* the paper's "fairly long" timeout.
+            delay *= 1.0 + cohort.config.promotion_jitter * self._jitter_rng().random()
+        self._await_timer = cohort.set_timer(delay, self._await_timeout)
 
     def _await_timeout(self) -> None:
         from repro.core.cohort import Status
@@ -194,14 +270,28 @@ class ViewChangeController:
         if self._invite_timer is not None:
             self._invite_timer.cancel()
             self._invite_timer = None
+        if self._retransmit_timer is not None:
+            self._retransmit_timer.cancel()
+            self._retransmit_timer = None
+        if self._retry_timer is not None:
+            # A late acceptance can trigger another formation attempt while
+            # a retry timer from a previous failure is still armed; without
+            # cancelling it here the old timer fires alongside the new one
+            # and mints two viewids back to back.
+            self._retry_timer.cancel()
+            self._retry_timer = None
         view = self.form_view(self._responses)
         if view is None:
             cohort.metrics.incr(f"view_formations_failed:{cohort.mygroupid}")
-            self._retry_timer = cohort.set_timer(
-                cohort.config.view_retry_delay, self._make_invitations
-            )
+            if cohort.config.adaptive_timeouts:
+                delay = self._backoff().next()
+            else:
+                delay = cohort.config.view_retry_delay
+            self._retry_timer = cohort.set_timer(delay, self._make_invitations)
             return
         self._formed = True
+        if self._retry_backoff is not None and self._retry_backoff.reset():
+            cohort.metrics.incr(f"backoff_resets:{cohort.mygroupid}")
         if view.primary == cohort.mymid:
             self._start_view(view)
         else:
@@ -341,9 +431,15 @@ class ViewChangeController:
     # ------------------------------------------------------------------
 
     def _cancel_timers(self) -> None:
-        for timer in (self._invite_timer, self._await_timer, self._retry_timer):
+        for timer in (
+            self._invite_timer,
+            self._await_timer,
+            self._retry_timer,
+            self._retransmit_timer,
+        ):
             if timer is not None:
                 timer.cancel()
         self._invite_timer = None
         self._await_timer = None
         self._retry_timer = None
+        self._retransmit_timer = None

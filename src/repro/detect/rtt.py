@@ -1,0 +1,121 @@
+"""Round-trip estimation and the timeouts derived from it.
+
+The estimator is the classic Jacobson/Karels pair of exponentially
+weighted moving averages (SRTT and RTTVAR, RFC 6298 coefficients) that
+TCP uses for its retransmission timer.  Samples come from two places:
+
+- heartbeat one-way delays (``ImAliveMsg.sent_at`` against the receiver's
+  clock, doubled -- the simulator has a global clock, so this is exact);
+- observed call round trips (request sent to reply received).
+
+Call samples include server-side processing -- a call blocked on a lock
+inflates SRTT -- which errs on the conservative side: timeouts grow
+toward their fixed ceilings, they never become trigger-happy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class RttEstimator:
+    """Jacobson/Karels smoothed RTT + variance -> retransmission timeout.
+
+    ``rto`` is ``srtt + k * rttvar`` (k=4, as in TCP).  Until the first
+    sample arrives the estimator reports ``None`` so consumers can fall
+    back to their configured fixed timeout.
+    """
+
+    __slots__ = ("srtt", "rttvar", "samples", "_alpha", "_beta", "_k")
+
+    def __init__(self, alpha: float = 0.125, beta: float = 0.25, k: float = 4.0):
+        self.srtt: Optional[float] = None
+        self.rttvar: float = 0.0
+        self.samples = 0
+        self._alpha = alpha
+        self._beta = beta
+        self._k = k
+
+    def observe(self, sample: float) -> None:
+        """Feed one round-trip sample (ignored if non-positive)."""
+        if sample <= 0.0:
+            return
+        self.samples += 1
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample / 2.0
+            return
+        self.rttvar = (1.0 - self._beta) * self.rttvar + self._beta * abs(
+            self.srtt - sample
+        )
+        self.srtt = (1.0 - self._alpha) * self.srtt + self._alpha * sample
+
+    @property
+    def rto(self) -> Optional[float]:
+        """Current retransmission timeout, or None before any sample."""
+        if self.srtt is None:
+            return None
+        return self.srtt + self._k * self.rttvar
+
+    def reset(self) -> None:
+        self.srtt = None
+        self.rttvar = 0.0
+        self.samples = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.srtt is None:
+            return "RttEstimator(no samples)"
+        return (
+            f"RttEstimator(srtt={self.srtt:.3f}, rttvar={self.rttvar:.3f}, "
+            f"rto={self.rto:.3f}, n={self.samples})"
+        )
+
+
+class AdaptiveTimeouts:
+    """Protocol timeouts derived from a live RTO instead of constants.
+
+    Each derived timeout is ``multiplier * rto`` plus a slack term for any
+    known server-side waiting (a prepare may sit behind a buffer flush,
+    for example), clamped to ``[config.min_timeout, fixed]`` where
+    ``fixed`` is the paper-faithful constant from
+    :class:`~repro.config.ProtocolConfig`.  The clamp means adaptive mode
+    can only detect failures *faster* than the fixed configuration, never
+    wait longer; and with ``adaptive_timeouts`` off (or before the first
+    RTT sample) every method returns exactly the fixed constant.
+    """
+
+    def __init__(self, config, rtt: RttEstimator):
+        self.config = config
+        self.rtt = rtt
+
+    def _derive(self, fixed: float, multiplier: float, slack: float = 0.0) -> float:
+        if not self.config.adaptive_timeouts:
+            return fixed
+        rto = self.rtt.rto
+        if rto is None:
+            return fixed
+        return min(fixed, max(self.config.min_timeout, multiplier * rto + slack))
+
+    def call_timeout(self) -> float:
+        """Per-attempt wait for a call reply (retransmits probe sooner)."""
+        return self._derive(self.config.call_timeout, 3.0)
+
+    def prepare_timeout(self) -> float:
+        """Coordinator's wait for prepare-ok: the participant may have to
+        force, which can sit behind a flush interval."""
+        return self._derive(
+            self.config.prepare_timeout, 4.0, slack=2.0 * self.config.flush_interval
+        )
+
+    def commit_retry_interval(self) -> float:
+        """Coordinator's commit re-send period: the participant forces the
+        committed record before acknowledging."""
+        return self._derive(
+            self.config.commit_retry_interval, 3.0, slack=self.config.flush_interval
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AdaptiveTimeouts(call={self.call_timeout():.2f}, "
+            f"prepare={self.prepare_timeout():.2f})"
+        )

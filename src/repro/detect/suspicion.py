@@ -1,0 +1,155 @@
+"""Accrual-style failure suspicion from the heartbeat arrival process.
+
+The paper's failure detector is a fixed threshold: silence longer than
+``suspect_timeout()`` (a multiple of the configured heartbeat period)
+marks a cohort unreachable.  On a lossy or jittery link that constant is
+wrong in both directions -- too eager when beats are merely dropped, too
+lazy when the link is actually fast.  Following the phi-accrual idea
+(Hayashibara et al.), each peer's *observed* inter-arrival process is
+summarized (EWMA mean + mean absolute deviation), and the suspicion level
+is the current silence expressed in units of the expected inter-arrival
+time.  Crossing ``config.suspect_multiplier`` marks the peer suspect --
+the same threshold semantics as the fixed detector, but against a learned
+baseline that widens automatically when the network drops beats.
+
+With ``config.adaptive_timeouts`` off the detector reproduces the paper's
+fixed rule exactly (silence > ``suspect_timeout()``), so ablations compare
+like with like.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.detect.rtt import RttEstimator
+
+
+class _PeerState:
+    __slots__ = ("last_heard", "mean_interval", "interval_dev", "rtt", "suspected")
+
+    def __init__(self) -> None:
+        self.last_heard = 0.0
+        self.mean_interval: Optional[float] = None
+        self.interval_dev = 0.0
+        self.rtt = RttEstimator()
+        self.suspected = False
+
+
+class FailureDetector:
+    """Per-peer liveness estimation for one cohort.
+
+    ``clock`` is a zero-argument callable returning the current simulated
+    time; ``on_transition(mid, suspected)`` (optional) fires whenever a
+    peer crosses the suspicion threshold in either direction, so hosts
+    can count suspicions in metrics and the ledger.
+    """
+
+    #: EWMA gain for the inter-arrival mean/deviation (slow enough to ride
+    #: out a couple of dropped beats, fast enough to track a mode change).
+    GAIN = 0.2
+
+    def __init__(
+        self,
+        config,
+        peers: Iterable[int],
+        clock: Callable[[], float],
+        on_transition: Optional[Callable[[int, bool], None]] = None,
+    ):
+        self.config = config
+        self.clock = clock
+        self.on_transition = on_transition
+        self._peers: Dict[int, _PeerState] = {mid: _PeerState() for mid in peers}
+
+    def reset(self) -> None:
+        """Forget all history (host crashed; volatile state is gone)."""
+        self._peers = {mid: _PeerState() for mid in self._peers}
+
+    # -- feeding ------------------------------------------------------------
+
+    def heard(self, mid: int, sent_at: Optional[float] = None) -> None:
+        """A liveness-bearing message from *mid* arrived just now."""
+        state = self._peers.get(mid)
+        if state is None:
+            return
+        now = self.clock()
+        if state.last_heard > 0.0:
+            interval = now - state.last_heard
+            if interval > 0.0:
+                if state.mean_interval is None:
+                    state.mean_interval = interval
+                    state.interval_dev = interval / 2.0
+                else:
+                    gain = self.GAIN
+                    state.interval_dev = (1.0 - gain) * state.interval_dev + (
+                        gain * abs(interval - state.mean_interval)
+                    )
+                    state.mean_interval = (
+                        1.0 - gain
+                    ) * state.mean_interval + gain * interval
+        state.last_heard = now
+        if sent_at is not None and now >= sent_at:
+            # Global simulated clock: one-way delay doubled is an exact RTT.
+            state.rtt.observe(2.0 * (now - sent_at))
+        if state.suspected:
+            state.suspected = False
+            if self.on_transition is not None:
+                self.on_transition(mid, False)
+
+    def observe_rtt(self, mid: int, sample: float) -> None:
+        state = self._peers.get(mid)
+        if state is not None:
+            state.rtt.observe(sample)
+
+    # -- querying -----------------------------------------------------------
+
+    def last_heard(self, mid: int) -> float:
+        state = self._peers.get(mid)
+        return state.last_heard if state is not None else 0.0
+
+    def expected_interval(self, mid: int) -> float:
+        """Learned heartbeat inter-arrival estimate (mean + 2 deviations),
+        never below the configured period (loss can only stretch it)."""
+        configured = self.config.im_alive_interval
+        state = self._peers.get(mid)
+        if state is None or state.mean_interval is None:
+            return configured
+        return max(configured, state.mean_interval + 2.0 * state.interval_dev)
+
+    def suspicion(self, mid: int) -> float:
+        """Accrual level: current silence in expected inter-arrival units."""
+        state = self._peers.get(mid)
+        if state is None:
+            return 0.0
+        elapsed = self.clock() - state.last_heard
+        return elapsed / self.expected_interval(mid)
+
+    def is_suspect(self, mid: int) -> bool:
+        state = self._peers.get(mid)
+        if state is None:
+            return False
+        if self.config.adaptive_timeouts:
+            suspect = self.suspicion(mid) > self.config.suspect_multiplier
+        else:
+            elapsed = self.clock() - state.last_heard
+            suspect = elapsed > self.config.suspect_timeout()
+        if suspect and not state.suspected:
+            state.suspected = True
+            if self.on_transition is not None:
+                self.on_transition(mid, True)
+        return suspect
+
+    def rto(self, mid: int) -> Optional[float]:
+        state = self._peers.get(mid)
+        return state.rtt.rto if state is not None else None
+
+    def group_rto(self) -> Optional[float]:
+        """The slowest live peer RTO (None before any heartbeat sample)."""
+        rtos = [
+            state.rtt.rto
+            for state in self._peers.values()
+            if state.rtt.rto is not None
+        ]
+        return max(rtos) if rtos else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FailureDetector(peers={sorted(self._peers)})"

@@ -18,6 +18,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.core import messages as m
 from repro.core.cache import ClientCache
+from repro.detect import Backoff, RttEstimator
 from repro.sim.future import Future
 from repro.sim.node import Actor, Node
 
@@ -33,6 +34,7 @@ class _PendingRequest:
     timeout: float
     timer: Any = None
     submitted_at: float = 0.0
+    backoff: Any = None  # adaptive mode: jittered growth across re-sends
 
 
 class Driver(Actor):
@@ -43,6 +45,8 @@ class Driver(Actor):
         self.runtime = runtime
         self.config = runtime.config
         self.cache = ClientCache()
+        self.rtt = RttEstimator()  # fed by observed end-to-end txn latencies
+        self._rng = runtime.sim.rng.fork(f"driver-backoff/{name}")
         self._requests: Dict[int, _PendingRequest] = {}
         self._next_request = 0
         runtime.network.register(self)
@@ -67,6 +71,16 @@ class Driver(Actor):
         if timeout is not None and timeout <= 0:
             raise ValueError(f"submit() timeout must be > 0, got {timeout!r}")
         self._next_request += 1
+        if timeout is not None:
+            per_attempt = timeout  # explicit user choice stays verbatim
+        else:
+            per_attempt = self.config.call_timeout * 2
+            if self.config.adaptive_timeouts and self.rtt.rto is not None:
+                # A stalled attempt is re-submitted once the wait clearly
+                # exceeds an observed end-to-end transaction time.
+                per_attempt = min(
+                    per_attempt, max(self.config.min_timeout, 3.0 * self.rtt.rto)
+                )
         request = _PendingRequest(
             request_id=self._next_request,
             groupid=groupid,
@@ -74,9 +88,17 @@ class Driver(Actor):
             args=tuple(args),
             future=Future(label=f"submit:{program}:{self._next_request}"),
             retries_left=retries,
-            timeout=timeout if timeout is not None else self.config.call_timeout * 2,
+            timeout=per_attempt,
             submitted_at=self.sim.now,
         )
+        if timeout is None and self.config.adaptive_timeouts:
+            request.backoff = Backoff(
+                per_attempt,
+                self._rng,
+                multiplier=self.config.backoff_multiplier,
+                cap_factor=self.config.backoff_cap,
+                jitter=self.config.backoff_jitter,
+            )
         self._requests[request.request_id] = request
         self._send(request)
         return request.future
@@ -98,8 +120,11 @@ class Driver(Actor):
                     reply_to=self.address,
                 ),
             )
+        delay = request.timeout
+        if request.backoff is not None:
+            delay = request.backoff.next(request.timeout)
         request.timer = self.node.set_timer(
-            request.timeout, self._on_timeout, request.request_id
+            delay, self._on_timeout, request.request_id
         )
 
     def _probe(self, groupid: str) -> None:
@@ -133,6 +158,7 @@ class Driver(Actor):
             if not request.future.done:
                 latency = self.sim.now - request.submitted_at
                 self.runtime.metrics.observe("driver_txn_latency", latency)
+                self.rtt.observe(latency)
                 request.future.set_result((message.outcome, message.result))
         elif isinstance(message, m.ViewProbeReplyMsg):
             if message.active and message.viewid is not None:

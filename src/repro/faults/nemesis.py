@@ -185,6 +185,32 @@ class GroupPartitionRule(FaultRule):
 
 
 @dataclasses.dataclass
+class LossyBurstsRule(FaultRule):
+    """Alternate clean and lossy periods on the network-wide link.
+
+    Models weather on a shared segment: every exponential *mean_healthy*
+    the default link degrades to *loss* (and optionally *duplicate*) for
+    an exponential *mean_lossy*, then is restored.  Combine with a
+    partition storm for the E16 robustness scenario.
+    """
+
+    mean_healthy: float
+    mean_lossy: float
+    loss: float = 0.25
+    duplicate: Optional[float] = None
+    rng_name: str = "lossy-schedule"
+    label = "lossy-bursts"
+
+    def run(self, controller):
+        rng = controller.runtime.sim.rng.fork(self.rng_name)
+        while True:
+            yield sleep(rng.expovariate(1.0 / self.mean_healthy))
+            controller.lossy(self.loss, duplicate=self.duplicate)
+            yield sleep(rng.expovariate(1.0 / self.mean_lossy))
+            controller.restore_links()
+
+
+@dataclasses.dataclass
 class MuteBackupUplinksRule(FaultRule):
     """Asymmetric outage: silence one backup's uplinks, then restore.
 
@@ -313,6 +339,24 @@ class Nemesis:
                 count,
                 primary_side,
                 rng_name or self._stream("group-partition"),
+            )
+        )
+
+    def lossy_bursts(
+        self,
+        mean_healthy: float,
+        mean_lossy: float,
+        loss: float = 0.25,
+        duplicate: Optional[float] = None,
+        rng_name: Optional[str] = None,
+    ) -> "Nemesis":
+        return self.add(
+            LossyBurstsRule(
+                mean_healthy,
+                mean_lossy,
+                loss,
+                duplicate,
+                rng_name or self._stream("lossy"),
             )
         )
 

@@ -26,6 +26,7 @@ from repro.harness.experiments_extensions import (
     e13_end_to_end,
 )
 from repro.harness.experiments_ablations import e15_ablations
+from repro.harness.experiments_robustness import e16_liveness
 
 ALL_EXPERIMENTS = {
     "E1": e01_call_overhead,
@@ -42,6 +43,7 @@ ALL_EXPERIMENTS = {
     "E12": e12_unilateral,
     "E13": e13_end_to_end,
     "E15": e15_ablations,
+    "E16": e16_liveness,
 }
 
 __all__ = [
@@ -62,4 +64,5 @@ __all__ = [
     "e12_unilateral",
     "e13_end_to_end",
     "e15_ablations",
+    "e16_liveness",
 ]

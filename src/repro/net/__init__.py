@@ -5,13 +5,14 @@ configurable delay, loss, duplication and reordering, plus partition and
 link-failure injection.
 """
 
-from repro.net.link import LAN, LOSSY, LinkModel
+from repro.net.link import LAN, LOSSY, WAN, LinkModel
 from repro.net.messages import Envelope, Message, estimate_size
 from repro.net.network import Network
 
 __all__ = [
     "LAN",
     "LOSSY",
+    "WAN",
     "Envelope",
     "LinkModel",
     "Message",

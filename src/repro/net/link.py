@@ -44,8 +44,8 @@ class LinkModel:
             raise ValueError("jitter must be >= 0")
         if not 0.0 <= self.loss_probability < 1.0:
             raise ValueError("loss_probability must be in [0, 1)")
-        if not 0.0 <= self.duplicate_probability <= 1.0:
-            raise ValueError("duplicate_probability must be in [0, 1]")
+        if not 0.0 <= self.duplicate_probability < 1.0:
+            raise ValueError("duplicate_probability must be in [0, 1)")
 
     def draw_delay(self, rng: SeededRng) -> float:
         if self.jitter == 0:
@@ -65,4 +65,10 @@ LAN = LinkModel(base_delay=1.0, jitter=0.2)
 #: A lossy, jittery network that exercises retry paths.
 LOSSY = LinkModel(
     base_delay=1.0, jitter=1.0, loss_probability=0.05, duplicate_probability=0.02
+)
+
+#: A wide-area network: long, highly variable delays with mild loss but no
+#: partitions -- the regime where fixed LAN-tuned timeouts misfire (E16).
+WAN = LinkModel(
+    base_delay=5.0, jitter=4.0, loss_probability=0.02, duplicate_probability=0.01
 )

@@ -62,6 +62,10 @@ class Actor:
 class Node:
     """A fail-stop machine hosting zero or more actors."""
 
+    #: Compact the timer/process bookkeeping lists once they exceed this many
+    #: entries (dropping cancelled timers and finished processes).
+    _PRUNE_THRESHOLD = 64
+
     def __init__(self, sim: Simulator, node_id: str):
         self.sim = sim
         self.node_id = node_id
@@ -87,7 +91,7 @@ class Node:
 
         timer = self.sim.schedule(delay, guarded)
         self._timers.append(timer)
-        if len(self._timers) > 64:
+        if len(self._timers) > self._PRUNE_THRESHOLD:
             self._timers = [t for t in self._timers if t.active]
         return timer
 
@@ -95,7 +99,7 @@ class Node:
         """Run a process that is interrupted if the node crashes."""
         process = spawn(self.sim, generator, name=name or f"proc@{self.node_id}")
         self._processes.append(process)
-        if len(self._processes) > 64:
+        if len(self._processes) > self._PRUNE_THRESHOLD:
             self._processes = [p for p in self._processes if not p.done]
         return process
 
@@ -124,6 +128,10 @@ class Node:
         if self.up:
             return
         self.up = True
+        # crash() cancelled the old incarnation's timers but cancelled
+        # entries can also accumulate between crashes; start clean.
+        self._timers = [t for t in self._timers if t.active]
+        self._processes = [p for p in self._processes if not p.done]
         self.sim.trace("node_recover", node=self.node_id)
         for actor in self.actors:
             actor.on_recover()

@@ -112,3 +112,20 @@ def test_stop_halts_rules_but_keeps_timeline():
     rt.faults.stop()
     rt.run_for(2000)
     assert rt.faults.count("crash") == injected  # no further injections
+
+
+def test_lossy_bursts_alternate_degrade_and_restore():
+    rt, _counter, _clients, _driver = build_counter_system(seed=29)
+    clean_link = rt.network.link
+    rt.inject(Nemesis().lossy_bursts(mean_healthy=300.0, mean_lossy=150.0,
+                                     loss=0.3, duplicate=0.1))
+    rt.run_for(5000)
+    bursts = rt.faults.count("lossy")
+    assert bursts >= 2
+    # Every burst that ended was restored; at most one can still be open.
+    assert rt.faults.count("restore_links") >= bursts - 1
+    degraded = [e for e in rt.faults.timeline if e.kind == "lossy"]
+    assert all("loss=0.3" in e.target for e in degraded)
+    rt.faults.stop()
+    rt.faults.restore_links()
+    assert rt.network.link == clean_link

@@ -1,0 +1,11 @@
+"""A short run of the CI chaos soak: it must pass and be deterministic."""
+
+from repro.harness.soak import run_soak
+
+
+def test_short_soak_passes_and_is_deterministic():
+    first = run_soak(seed=11, duration=4000.0, verbose=False)
+    second = run_soak(seed=11, duration=4000.0, verbose=False)
+    assert first == second
+    assert first["probes"] > 0
+    assert first["view_changes"] > 0

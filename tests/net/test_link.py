@@ -2,13 +2,21 @@
 
 import pytest
 
-from repro.net.link import LAN, LOSSY, LinkModel
+from repro.net.link import LAN, LOSSY, WAN, LinkModel
 from repro.sim.rng import SeededRng
 
 
 def test_defaults():
     assert LAN.loss_probability == 0.0
     assert LOSSY.loss_probability > 0.0
+
+
+def test_wan_preset():
+    # Partition-free but slow and jittery: loss/dup without split brain.
+    assert WAN.base_delay > LAN.base_delay
+    assert WAN.jitter > LOSSY.jitter
+    assert 0.0 < WAN.loss_probability < 1.0
+    assert 0.0 < WAN.duplicate_probability < 1.0
 
 
 def test_validation():
@@ -22,6 +30,12 @@ def test_validation():
         LinkModel(loss_probability=-0.1)
     with pytest.raises(ValueError):
         LinkModel(duplicate_probability=1.1)
+    # Both probabilities share the same half-open [0, 1) bound: a link
+    # that duplicates every message forever would never quiesce.
+    with pytest.raises(ValueError):
+        LinkModel(duplicate_probability=1.0)
+    with pytest.raises(ValueError):
+        LinkModel(duplicate_probability=-0.1)
 
 
 def test_delay_within_bounds():
