@@ -3,11 +3,17 @@
 
 Run ``pytest benchmarks/ --benchmark-only`` first to refresh the tables,
 then ``python benchmarks/generate_experiments_md.py``.
+
+``--check`` compares instead of writing and exits non-zero when
+EXPERIMENTS.md is stale relative to benchmarks/results/ -- CI runs this so
+the committed document can never drift from the archived tables.
 """
 
 from __future__ import annotations
 
+import argparse
 import pathlib
+import sys
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 RESULTS = ROOT / "benchmarks" / "results"
@@ -66,7 +72,7 @@ substitution notes).
 """
 
 
-def main() -> None:
+def render() -> str:
     sections = [PREAMBLE]
     for index in list(range(1, 14)) + [15, 16]:
         path = RESULTS / f"e{index}.txt"
@@ -75,10 +81,33 @@ def main() -> None:
             continue
         body = path.read_text().rstrip()
         sections.append(f"\n```\n{body}\n```\n")
+    return "\n".join(sections)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 if EXPERIMENTS.md is stale instead of rewriting it",
+    )
+    args = parser.parse_args(argv)
     out = ROOT / "EXPERIMENTS.md"
-    out.write_text("\n".join(sections))
+    content = render()
+    if args.check:
+        current = out.read_text() if out.exists() else ""
+        if current != content:
+            print(
+                f"{out} is stale relative to {RESULTS}/; regenerate with "
+                "`python benchmarks/generate_experiments_md.py`",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{out} is up to date")
+        return 0
+    out.write_text(content)
     print(f"wrote {out}")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -16,14 +16,12 @@ worthwhile."  A :class:`ClientAgent` is a single, crashable process that:
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Any, Dict, Optional, Tuple
 
 from repro.core import messages as m
 from repro.core.cache import ClientCache
 from repro.core.calls import CallAborted, RemoteCaller
 from repro.detect import AdaptiveTimeouts, RttEstimator
-from repro.sim.errors import CancelledError
 from repro.sim.future import Future
 from repro.sim.node import Actor, Node
 from repro.txn.ids import Aid, CallId

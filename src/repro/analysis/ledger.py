@@ -14,7 +14,7 @@ protocol state back into the system -- and feeds:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.analysis.serializability import (
     CommittedTransaction,

@@ -24,7 +24,7 @@ in the replica-convergence check that integration tests also run.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import networkx as nx
 

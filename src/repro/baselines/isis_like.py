@@ -31,7 +31,7 @@ is apples-to-apples.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Set, Tuple
 
 from repro.net.messages import Message
 from repro.sim.future import Future
@@ -47,7 +47,7 @@ class Effect:
     value: Any
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class IsisCallReq(Message):
     op_id: int
     op: str  # "read" | "write" | "add"
@@ -57,14 +57,14 @@ class IsisCallReq(Message):
     piggyback: Tuple[Effect, ...] = ()
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class IsisCallReply(Message):
     op_id: int
     result: Any
     piggyback: Tuple[Effect, ...] = ()
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class IsisWriteLockReq(Message):
     op_id: int
     key: str
@@ -72,14 +72,14 @@ class IsisWriteLockReq(Message):
     piggyback: Tuple[Effect, ...] = ()
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class IsisWriteLockReply(Message):
     op_id: int
     granted: bool
     replica: int
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class IsisBackgroundEffects(Message):
     effects: Tuple[Effect, ...] = ()
 

@@ -26,7 +26,7 @@ from repro.sim.future import Future
 from repro.sim.node import Actor, Node
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class PairOpReq(Message):
     op_id: int
     op: str  # "read" | "write" | "add"
@@ -35,25 +35,25 @@ class PairOpReq(Message):
     reply_to: str
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class PairOpReply(Message):
     op_id: int
     result: Any
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class PairCheckpoint(Message):
     seq: int
     key: str
     value: Any
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class PairCheckpointAck(Message):
     seq: int
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class PairPing(Message):
     pass
 

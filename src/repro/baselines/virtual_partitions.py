@@ -28,31 +28,31 @@ from repro.sim.future import Future
 from repro.sim.node import Actor, Node
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class VPInvite(Message):
     viewid: int
     manager: str
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class VPAccept(Message):
     viewid: int
     member: str
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class VPNewView(Message):
     viewid: int
     members: Tuple[str, ...]
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class VPNewViewAck(Message):
     viewid: int
     member: str
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class VPStateExchange(Message):
     viewid: int
     member: str

@@ -27,7 +27,7 @@ experiment E6 measures against viewstamped replication.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Tuple
 
 from repro.net.messages import Message
 from repro.sim.future import Future
@@ -37,14 +37,14 @@ from repro.sim.node import Actor, Node
 # -- wire messages ----------------------------------------------------------
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class VoteReadReq(Message):
     op_id: int
     key: str
     reply_to: str
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class VoteReadReply(Message):
     op_id: int
     key: str
@@ -53,14 +53,14 @@ class VoteReadReply(Message):
     replica: int
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class VoteLockReq(Message):
     op_id: int
     key: str
     reply_to: str
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class VoteLockReply(Message):
     op_id: int
     key: str
@@ -69,7 +69,7 @@ class VoteLockReply(Message):
     replica: int
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class VoteWriteReq(Message):
     op_id: int
     key: str
@@ -78,14 +78,14 @@ class VoteWriteReq(Message):
     reply_to: str
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class VoteWriteReply(Message):
     op_id: int
     key: str
     replica: int
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class VoteUnlockReq(Message):
     op_id: int
     key: str

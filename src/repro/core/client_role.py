@@ -29,7 +29,6 @@ from typing import Any, Dict, Optional, Set, Tuple
 from repro.core import messages as m
 from repro.core.calls import CallAborted
 from repro.core.events import Aborted, Committing, Done
-from repro.core.viewstamp import Viewstamp
 from repro.location.service import primary_address_in
 from repro.sim.errors import CancelledError
 from repro.sim.future import Future

@@ -49,7 +49,7 @@ from repro.sim.node import Actor, Node
 from repro.storage.stable import StableStoragePolicy, StableStore
 from repro.txn.ids import Aid
 from repro.txn.locks import LockManager
-from repro.txn.objects import ObjectStore, READ, WRITE
+from repro.txn.objects import ObjectStore, WRITE
 
 
 class Status(enum.Enum):

@@ -9,7 +9,7 @@ coordinator-server requests of section 3.5.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Optional, Tuple
 
 from repro.core.events import EventRecord
 from repro.core.view import View
@@ -22,7 +22,7 @@ from repro.txn.ids import Aid, CallId
 # ---------------------------------------------------------------------------
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class CallMsg(Message):
     """Remote procedure call to a server group's primary.
 
@@ -47,7 +47,7 @@ class CallMsg(Message):
     #                                           predecessor's tentative state)
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class ReplyMsg(Message):
     """Successful call reply: result plus the call's pset pairs."""
 
@@ -57,7 +57,7 @@ class ReplyMsg(Message):
     piggyback: Any = None
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class CallFailedMsg(Message):
     """The call could not run (lock timeout, app error, group aborting)."""
 
@@ -65,7 +65,7 @@ class CallFailedMsg(Message):
     reason: str
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class ViewChangedMsg(Message):
     """Rejection: "the response to the rejected message contains information
     about the current viewid and primary if the cohort knows them"
@@ -78,7 +78,7 @@ class ViewChangedMsg(Message):
     groupid: str = ""
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class PrepareMsg(Message):
     """Phase one: aid + pset (Figure 2 step 1)."""
 
@@ -88,7 +88,7 @@ class PrepareMsg(Message):
     aborted_subactions: Tuple[int, ...] = ()
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class PrepareOkMsg(Message):
     """Participant acceptance; flags a read-only participant (Figure 3)."""
 
@@ -97,7 +97,7 @@ class PrepareOkMsg(Message):
     read_only: bool
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class PrepareRefusedMsg(Message):
     """Participant refusal -- pset incompatible with its history."""
 
@@ -106,7 +106,7 @@ class PrepareRefusedMsg(Message):
     reason: str
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class CommitMsg(Message):
     """Phase two commit.  Carries the pset so a participant primary that
     changed since prepare can still identify which calls' effects to
@@ -117,7 +117,7 @@ class CommitMsg(Message):
     coordinator: str
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class CommitAckMsg(Message):
     """Participant's "done message" after processing a commit (Figure 3)."""
 
@@ -125,14 +125,14 @@ class CommitAckMsg(Message):
     groupid: str
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class AbortMsg(Message):
     """Abort notification; delivery is best-effort (section 3.4)."""
 
     aid: Aid
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class SubactionAbortMsg(Message):
     """Best-effort notice that a subaction aborted (section 3.6)."""
 
@@ -145,7 +145,7 @@ class SubactionAbortMsg(Message):
 # ---------------------------------------------------------------------------
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class QueryMsg(Message):
     """Ask any cohort that might know: what happened to *aid*?"""
 
@@ -153,7 +153,7 @@ class QueryMsg(Message):
     reply_to: str
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class QueryReplyMsg(Message):
     """Outcome: committed / aborted / active / unknown."""
 
@@ -167,7 +167,7 @@ class QueryReplyMsg(Message):
 # ---------------------------------------------------------------------------
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class BufferMsg(Message):
     """Primary -> backup: event records in timestamp order.
 
@@ -180,7 +180,7 @@ class BufferMsg(Message):
     primary_ts: int
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class BufferAckMsg(Message):
     """Backup -> primary: cumulative ack of applied timestamps."""
 
@@ -194,7 +194,7 @@ class BufferAckMsg(Message):
 # ---------------------------------------------------------------------------
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class ImAliveMsg(Message):
     """Periodic liveness beacon among cohorts of one configuration.
 
@@ -208,7 +208,7 @@ class ImAliveMsg(Message):
     sent_at: Optional[float] = None
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class InviteMsg(Message):
     """View manager's invitation to join view *viewid*."""
 
@@ -216,7 +216,7 @@ class InviteMsg(Message):
     manager_mid: int
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class AcceptMsg(Message):
     """Acceptance of an invitation.
 
@@ -237,7 +237,7 @@ class AcceptMsg(Message):
     #                                 rule; the paper's rule ignores it)
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class InitViewMsg(Message):
     """Manager -> chosen primary: "you start view *viewid* with *view*"."""
 
@@ -251,14 +251,14 @@ class InitViewMsg(Message):
 # ---------------------------------------------------------------------------
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class ViewProbeMsg(Message):
     """Ask a cohort which view it is in."""
 
     reply_to: str
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class ViewProbeReplyMsg(Message):
     """A cohort's notion of the current view (None if it is mid-change)."""
 
@@ -273,7 +273,7 @@ class ViewProbeReplyMsg(Message):
 # ---------------------------------------------------------------------------
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class TxnRequestMsg(Message):
     """A workload driver asks the client-group primary to run a program."""
 
@@ -283,7 +283,7 @@ class TxnRequestMsg(Message):
     reply_to: str
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class TxnOutcomeMsg(Message):
     """Final outcome of a driver-submitted transaction."""
 
@@ -298,7 +298,7 @@ class TxnOutcomeMsg(Message):
 # ---------------------------------------------------------------------------
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class BeginTxnMsg(Message):
     """Unreplicated client registers a transaction with the
     coordinator-server group and obtains an aid."""
@@ -307,13 +307,13 @@ class BeginTxnMsg(Message):
     client: str
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class BeginTxnReplyMsg(Message):
     request_id: int
     aid: Optional[Aid]
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class FinishTxnMsg(Message):
     """Client asks the coordinator-server to commit (runs 2PC) or abort."""
 
@@ -324,13 +324,13 @@ class FinishTxnMsg(Message):
     client: str
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class FinishTxnReplyMsg(Message):
     aid: Aid
     outcome: str  # committed | aborted
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class ClientProbeMsg(Message):
     """Coordinator-server checks whether its client is still alive before
     unilaterally aborting an apparently-active transaction (section 3.5)."""
@@ -338,7 +338,7 @@ class ClientProbeMsg(Message):
     aid: Aid
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class ClientProbeReplyMsg(Message):
     aid: Aid
     active: bool

@@ -27,7 +27,7 @@ from repro.app.context import CallContext, TransactionAborted
 from repro.core import messages as m
 from repro.core.calls import CallAborted
 from repro.core.events import Aborted, Committed, CompletedCall
-from repro.core.viewstamp import Viewstamp, compatible, vs_max
+from repro.core.viewstamp import compatible, vs_max
 from repro.sim.errors import CancelledError
 from repro.txn.ids import Aid, CallId
 from repro.txn.pset import PSetPair

@@ -14,7 +14,6 @@ measure:
 
 from __future__ import annotations
 
-import dataclasses
 
 from repro import Nemesis
 from repro.config import ProtocolConfig

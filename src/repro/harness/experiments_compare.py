@@ -11,8 +11,6 @@ from repro.harness.common import (
     ExperimentResult,
     build_kv_system,
     drain,
-    kv_jobs,
-    run_kv_batch,
 )
 from repro.sim.process import sleep, spawn
 from repro.workloads.loadgen import run_closed_loop

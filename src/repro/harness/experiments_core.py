@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-import dataclasses
 
 from repro.app.module import transaction_program
 from repro.config import ProtocolConfig
-from repro.core.view import majority
 from repro.harness.common import (
     BUFFER_MSGS,
     CALL_MSGS,

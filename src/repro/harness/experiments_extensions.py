@@ -3,7 +3,7 @@ edits, and end-to-end comparison including the Tandem-style pair."""
 
 from __future__ import annotations
 
-from repro import EmptyModule, FaultPlan, Nemesis, Runtime
+from repro import FaultPlan, Nemesis, Runtime
 from repro.app.module import transaction_program
 from repro.config import ProtocolConfig
 from repro.harness.common import (

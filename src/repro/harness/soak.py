@@ -25,10 +25,16 @@ from repro.sim.process import sleep, spawn
 
 
 def run_soak(seed: int = 2026, duration: float = 15_000.0,
-             verbose: bool = True) -> dict:
+             verbose: bool = True, on_runtime=None) -> dict:
     """One soak run; returns summary stats, raises AssertionError on a
-    safety violation or failure to re-converge."""
+    safety violation or failure to re-converge.
+
+    ``on_runtime``, if given, is called with the :class:`~repro.Runtime`
+    immediately after construction -- repro.perf uses it to read kernel
+    counters off the finished run without changing the return type."""
     rt, kv, _clients, driver, spec = build_kv_system(seed=seed, n_cohorts=3)
+    if on_runtime is not None:
+        on_runtime(rt)
     node_ids = [node.node_id for node in kv.nodes()]
     rt.inject(
         Nemesis("soak")

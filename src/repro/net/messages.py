@@ -4,45 +4,64 @@ Byte sizes matter for the Isis comparison (experiment E9): the paper argues
 Isis must piggyback ever-growing effect information on every message, while
 viewstamped replication's psets stay small and are discarded at commit.  We
 estimate wire size structurally so the comparison is apples-to-apples.
+
+This module is on the per-message hot path (every send runs ``byte_size``),
+so it avoids repeated ``dataclasses.fields`` reflection with a per-class
+field-name cache, and ``msg_type`` is a class attribute stamped at subclass
+creation rather than a per-access property.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Any
+from typing import Any, Dict, Tuple, Type
 
 _HEADER_BYTES = 32  # source, destination, msg id, type tag
+
+#: Per-class cache of dataclass field names, so byte sizing does not pay
+#: ``dataclasses.fields`` reflection on every message.
+_FIELD_NAMES: Dict[type, Tuple[str, ...]] = {}
+
+
+def _field_names(cls: type) -> Tuple[str, ...]:
+    names = _FIELD_NAMES.get(cls)
+    if names is None:
+        names = tuple(field.name for field in dataclasses.fields(cls))
+        _FIELD_NAMES[cls] = names
+    return names
 
 
 def estimate_size(value: Any) -> int:
     """Rough wire-size estimate of a payload value, in bytes."""
     if value is None or isinstance(value, bool):
         return 1
-    if isinstance(value, int):
-        return 8
-    if isinstance(value, float):
+    if isinstance(value, (int, float)):
         return 8
     if isinstance(value, str):
         return len(value)
     if isinstance(value, bytes):
         return len(value)
     if isinstance(value, (list, tuple, set, frozenset)):
-        return 4 + sum(estimate_size(item) for item in value)
+        total = 4
+        for item in value:
+            total += estimate_size(item)
+        return total
     if isinstance(value, dict):
-        return 4 + sum(
-            estimate_size(k) + estimate_size(v) for k, v in value.items()
-        )
+        total = 4
+        for key, item in value.items():
+            total += estimate_size(key) + estimate_size(item)
+        return total
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return sum(
-            estimate_size(getattr(value, field.name))
-            for field in dataclasses.fields(value)
-        )
+        total = 0
+        for name in _field_names(type(value)):
+            total += estimate_size(getattr(value, name))
+        return total
     if hasattr(value, "byte_size"):
         return value.byte_size()
     return 16  # opaque object
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Message:
     """Base class for every wire message in the system.
 
@@ -51,18 +70,23 @@ class Message:
     ``msg_type`` defaults to the class name, which is what metrics key on.
     """
 
-    @property
-    def msg_type(self) -> str:
-        return type(self).__name__
+    msg_type = "Message"  # class attribute, restamped per subclass below
+
+    def __init_subclass__(cls: Type["Message"], **kwargs: Any) -> None:
+        # No zero-arg super() here: dataclass(slots=True) recreates the
+        # class, which leaves the implicit __class__ cell pointing at the
+        # pre-slots Message and would raise TypeError for subclasses.
+        object.__init_subclass__(**kwargs)
+        cls.msg_type = cls.__name__
 
     def byte_size(self) -> int:
-        return _HEADER_BYTES + sum(
-            estimate_size(getattr(self, field.name))
-            for field in dataclasses.fields(self)
-        )
+        total = _HEADER_BYTES
+        for name in _field_names(type(self)):
+            total += estimate_size(getattr(self, name))
+        return total
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Envelope:
     """A message in flight: routing metadata wrapped around the payload."""
 

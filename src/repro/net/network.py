@@ -46,6 +46,21 @@ class Network:
         self._failed_links: Set[Tuple[str, str]] = set()
         self._delivered_ids: Set[int] = set()
         self._link_overrides: Dict[Tuple[str, str], LinkModel] = {}
+        # Plain-int totals on the per-message hot path; the per-type
+        # breakdown lives in Metrics, these feed repro.perf cheaply.
+        self.messages_sent_total = 0
+        self.messages_delivered_total = 0
+        self.messages_dropped_total = 0
+        self.messages_duplicated_total = 0
+
+    def perf_counters(self) -> dict:
+        """Message-plane counters as a plain dict (for :mod:`repro.perf`)."""
+        return {
+            "messages_sent": self.messages_sent_total,
+            "messages_delivered": self.messages_delivered_total,
+            "messages_dropped": self.messages_dropped_total,
+            "messages_duplicated": self.messages_duplicated_total,
+        }
 
     # -- registration -------------------------------------------------------
 
@@ -127,32 +142,39 @@ class Network:
             payload=payload,
             sent_at=self.sim.now,
         )
+        self.messages_sent_total += 1
         self.metrics.on_send(payload.msg_type, payload.byte_size())
 
         src_node = self.node_of(source)
         if src_node is not None and not src_node.up:
             # A crashed node cannot send; count it for debugging visibility.
+            self.messages_dropped_total += 1
             self.metrics.on_drop(payload.msg_type)
             return
         if not self.can_communicate(source, destination):
+            self.messages_dropped_total += 1
             self.metrics.on_drop(payload.msg_type)
             return
 
         model = self._link_overrides.get((source, destination), self.link)
         if model.drops(self.rng):
+            self.messages_dropped_total += 1
             self.metrics.on_drop(payload.msg_type)
             return
         self.sim.schedule(model.draw_delay(self.rng), self._deliver, envelope)
         if model.duplicates(self.rng):
+            self.messages_duplicated_total += 1
             self.metrics.on_duplicate(payload.msg_type)
             self.sim.schedule(model.draw_delay(self.rng), self._deliver, envelope)
 
     def _deliver(self, envelope: Envelope) -> None:
         actor = self._actors.get(envelope.destination)
         if actor is None or not actor.node.up:
+            self.messages_dropped_total += 1
             self.metrics.on_drop(envelope.payload.msg_type)
             return
         if not self.can_communicate(envelope.source, envelope.destination):
+            self.messages_dropped_total += 1
             self.metrics.on_drop(envelope.payload.msg_type)
             return
         if envelope.msg_id in self._delivered_ids:
@@ -164,5 +186,6 @@ class Network:
             # because both copies of a duplicate are scheduled at send time.
             cutoff = self._next_msg_id - 100_000
             self._delivered_ids = {i for i in self._delivered_ids if i > cutoff}
+        self.messages_delivered_total += 1
         self.metrics.on_deliver(envelope.payload.msg_type)
         actor.handle_message(envelope.payload, envelope.source)

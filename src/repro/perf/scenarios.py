@@ -1,0 +1,185 @@
+"""The fixed, seeded scenario suite behind ``python -m repro.perf``.
+
+Four scenarios spanning the regimes the roadmap cares about:
+
+- ``micro_call_overhead``: the normal-case hot path -- a closed-loop
+  read/write mix against a healthy 3-cohort group on a LAN.  This is the
+  scenario the kernel optimizations are judged on.
+- ``e13_end_to_end``: the E13 shape -- a write workload that rides out two
+  staggered primary crashes, exercising view changes and call retries.
+- ``lossy_view_change_storm``: the E16 shape -- LOSSY links, repeated
+  primary crashes, and a partition storm; stresses timer churn from
+  retransmission and failure detection (where lazy-cancel compaction pays).
+- ``chaos_soak``: the seeded chaos soak from ``repro.harness.soak``,
+  including its safety asserts.
+
+Every scenario is deterministic given its pinned seed; ``quick`` scales the
+workload down for CI without changing its shape.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+import tracemalloc
+from typing import Callable, List, Optional
+
+from repro import LOSSY, Nemesis
+from repro.harness.common import build_kv_system, kv_jobs, run_kv_batch, drain
+from repro.harness.soak import run_soak
+from repro.perf.report import PerfReport, build_report, ledger_digest as _digest
+from repro.sim.process import sleep, spawn
+from repro.workloads.loadgen import run_closed_loop
+
+
+@dataclasses.dataclass
+class Scenario:
+    """One named, seeded workload plus how to read its latency metric."""
+
+    name: str
+    seed: int
+    latency_key: Optional[str]
+    run: Callable[[bool], object]  # (quick) -> finished Runtime
+
+
+def _micro(quick: bool):
+    txns = 200 if quick else 600
+    rt, _kv, _clients, driver, spec = build_kv_system(seed=4242, n_cohorts=3)
+    run_kv_batch(rt, driver, spec, txns, read_fraction=0.5, concurrency=4)
+    rt.quiesce()
+    return rt
+
+
+def _e13_end_to_end(quick: bool):
+    ops = 40 if quick else 120
+    rt, _kv, _clients, driver, spec = build_kv_system(seed=1313, n_cohorts=3)
+    jobs = kv_jobs(rt, spec, ops, read_fraction=0.0)
+    stats = run_closed_loop(
+        rt, driver, "clients", jobs, concurrency=1, think_time=10.0
+    )
+    rt.inject(
+        Nemesis("perf-e13")
+        .crash_primary("kv", every=150.0, count=1, recover_after=300.0)
+        .crash_primary("kv", every=650.0, count=1, recover_after=300.0)
+    )
+    drain(rt, stats, ops, max_time=30_000)
+    rt.quiesce()
+    return rt
+
+
+def _lossy_storm(quick: bool):
+    duration = 2_500.0 if quick else 6_000.0
+    rt, kv, _clients, driver, spec = build_kv_system(
+        seed=1601, n_cohorts=3, link=LOSSY
+    )
+    rt.inject(
+        Nemesis("perf-storm")
+        .crash_primary(
+            "kv", every=700.0, count=int(duration // 700), recover_after=300.0
+        )
+        .partition_storm(
+            [node.node_id for node in kv.nodes()],
+            mean_healthy=900.0,
+            mean_partitioned=250.0,
+        )
+    )
+    outcomes = {"total": 0}
+
+    def prober():
+        index = 0
+        while rt.sim.now < duration:
+            index += 1
+            future = driver.submit(
+                "clients", "write", "kv", spec.key(index % spec.n_keys), index,
+                retries=2,
+            )
+            yield future
+            outcomes["total"] += 1
+            yield sleep(40.0)
+
+    spawn(rt.sim, prober(), name="perf-prober")
+    rt.run(until=duration)
+    rt.faults.stop()
+    rt.faults.heal()
+    rt.faults.restore_links()
+    rt.quiesce(duration=600)
+    return rt
+
+
+def _chaos_soak(quick: bool):
+    duration = 4_000.0 if quick else 12_000.0
+    captured = {}
+    run_soak(
+        seed=2026,
+        duration=duration,
+        verbose=False,
+        on_runtime=lambda rt: captured.setdefault("rt", rt),
+    )
+    return captured["rt"]
+
+
+SCENARIOS: List[Scenario] = [
+    Scenario("micro_call_overhead", 4242, "call_latency:kv", _micro),
+    Scenario("e13_end_to_end", 1313, "call_latency:kv", _e13_end_to_end),
+    Scenario("lossy_view_change_storm", 1601, "call_latency:kv", _lossy_storm),
+    Scenario("chaos_soak", 2026, "call_latency:kv", _chaos_soak),
+]
+
+
+def scenario_names() -> List[str]:
+    return [scenario.name for scenario in SCENARIOS]
+
+
+def run_scenario(
+    scenario: Scenario, quick: bool = False, best_of: int = 1
+) -> PerfReport:
+    """Run one scenario: ``best_of`` timing passes, then a tracemalloc pass.
+
+    Throughput is taken from the fastest untraced pass (``best_of`` > 1
+    smooths noisy shared CI runners); the memory pass pays tracemalloc's
+    allocation-tracking overhead and contributes only peak heap.  All
+    passes use the same seed, and their ledger digests are asserted
+    identical -- every perf run therefore doubles as a same-seed
+    determinism check.
+    """
+    wall_seconds = None
+    runtime = None
+    first_digest = None
+    for _ in range(max(1, best_of)):
+        started = time.perf_counter()
+        candidate = scenario.run(quick)
+        elapsed = time.perf_counter() - started
+        digest = _digest(candidate)
+        if first_digest is None:
+            first_digest = digest
+        elif digest != first_digest:
+            raise AssertionError(
+                f"{scenario.name}: same-seed timing passes diverged "
+                f"({first_digest[:12]} != {digest[:12]})"
+            )
+        if wall_seconds is None or elapsed < wall_seconds:
+            wall_seconds, runtime = elapsed, candidate
+
+    tracemalloc.start()
+    try:
+        traced_runtime = scenario.run(quick)
+        _, peak_heap_bytes = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+
+    report = build_report(
+        runtime,
+        scenario=scenario.name,
+        seed=scenario.seed,
+        wall_seconds=wall_seconds,
+        peak_heap_bytes=peak_heap_bytes,
+        latency_key=scenario.latency_key,
+        extra={"quick": quick},
+    )
+    traced_digest = _digest(traced_runtime)
+    if traced_digest != report.ledger_digest:
+        raise AssertionError(
+            f"{scenario.name}: same-seed runs diverged "
+            f"({report.ledger_digest[:12]} != {traced_digest[:12]})"
+        )
+    return report

@@ -93,7 +93,7 @@ class Runtime:
         if nodes is not None and len(nodes) < 1:
             raise ValueError(
                 f"create_group({groupid!r}): need at least one node, "
-                f"got an empty list"
+                "got an empty list"
             )
         if nodes is None:
             nodes = [

@@ -4,11 +4,28 @@ Events are ``(time, sequence)``-ordered callbacks.  The sequence number makes
 execution order total and deterministic even when many events share a
 timestamp, which is common in protocol simulations (e.g. a broadcast fanning
 out with identical delays).
+
+Hot-path notes (see docs/PERF.md):
+
+- Heap entries are plain ``(when, seq, timer)`` tuples so ``heapq`` compares
+  them in C instead of dispatching to a Python ``__lt__``.  Pop order is
+  unaffected: ``(when, seq)`` is already a strict total order.
+- Cancellation is lazy.  ``Timer.cancel`` tombstones the entry where it sits;
+  the tombstone is skipped when popped.  When tombstones dominate the heap a
+  periodic compaction rebuilds it, so a workload that schedules-and-cancels
+  in a loop (retransmission timers, probe timeouts) cannot grow the heap
+  without bound.  Compaction is triggered purely by event/cancel counts, so
+  it is deterministic.
+- The kernel keeps cheap integer perf counters (timers created/cancelled,
+  compactions, peak heap size) and accumulates wall-clock time spent inside
+  :meth:`run`; :mod:`repro.perf` reads them to build a
+  :class:`~repro.perf.report.PerfReport`.
 """
 
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Any, Callable, Optional
 
 from repro.sim.errors import SchedulingInPastError, SimulationLimitExceeded
@@ -18,22 +35,34 @@ from repro.sim.rng import SeededRng
 class Timer:
     """A handle to a scheduled event.  ``cancel()`` prevents it from firing."""
 
-    __slots__ = ("when", "_seq", "_callback", "_args", "cancelled")
+    __slots__ = ("when", "_seq", "_callback", "_args", "cancelled", "_sim")
 
-    def __init__(self, when: float, seq: int, callback: Callable, args: tuple):
+    def __init__(
+        self,
+        when: float,
+        seq: int,
+        callback: Callable,
+        args: tuple,
+        sim: Optional["Simulator"] = None,
+    ):
         self.when = when
         self._seq = seq
         self._callback = callback
         self._args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the timer from firing.  Safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
         # Drop references so cancelled-but-still-heaped timers don't pin
         # protocol state (cohorts, messages) in memory.
         self._callback = None
         self._args = ()
+        if self._sim is not None:
+            self._sim._on_timer_cancelled()
 
     @property
     def active(self) -> bool:
@@ -42,7 +71,11 @@ class Timer:
     def _fire(self) -> None:
         if not self.cancelled:
             callback, args = self._callback, self._args
-            self.cancel()
+            # Consume directly instead of routing through cancel(): a fired
+            # timer is not a cancellation and must not count as one.
+            self.cancelled = True
+            self._callback = None
+            self._args = ()
             callback(*args)
 
     def __lt__(self, other: "Timer") -> bool:
@@ -61,15 +94,32 @@ class Simulator:
         Safety valve: :meth:`run` raises
         :class:`~repro.sim.errors.SimulationLimitExceeded` after this many
         events, which turns protocol livelocks into crisp test failures.
+    compact_threshold:
+        Rebuild the heap once at least this many cancelled timers are
+        pending *and* they make up at least half the heap.  ``0`` disables
+        compaction (pure lazy cancellation, the pre-optimization behaviour);
+        event ordering is identical either way.
     """
 
-    def __init__(self, seed: int | str = 0, max_events: int = 5_000_000):
+    def __init__(
+        self,
+        seed: int | str = 0,
+        max_events: int = 5_000_000,
+        compact_threshold: int = 1024,
+    ):
         self.rng = SeededRng(seed)
         self.max_events = max_events
+        self.compact_threshold = compact_threshold
         self._now = 0.0
         self._seq = 0
-        self._heap: list[Timer] = []
+        self._heap: list[tuple[float, int, Timer]] = []
         self._events_processed = 0
+        self._cancelled_pending = 0
+        self._timers_created = 0
+        self._timers_cancelled = 0
+        self._heap_compactions = 0
+        self._peak_heap = 0
+        self._wall_seconds = 0.0
         self._trace_hooks: list[Callable[[float, str, dict], None]] = []
 
     # -- clock ------------------------------------------------------------
@@ -83,6 +133,43 @@ class Simulator:
     def events_processed(self) -> int:
         return self._events_processed
 
+    # -- perf counters ----------------------------------------------------
+
+    @property
+    def timers_created(self) -> int:
+        return self._timers_created
+
+    @property
+    def timers_cancelled(self) -> int:
+        """Timers cancelled before firing (fired timers are not counted)."""
+        return self._timers_cancelled
+
+    @property
+    def heap_compactions(self) -> int:
+        return self._heap_compactions
+
+    @property
+    def peak_heap_size(self) -> int:
+        """High-water mark of pending heap entries, tombstones included."""
+        return self._peak_heap
+
+    @property
+    def wall_seconds(self) -> float:
+        """Cumulative wall-clock time spent inside :meth:`run`."""
+        return self._wall_seconds
+
+    def perf_counters(self) -> dict:
+        """Kernel counters as a plain dict (consumed by :mod:`repro.perf`)."""
+        return {
+            "events_processed": self._events_processed,
+            "timers_created": self._timers_created,
+            "timers_cancelled": self._timers_cancelled,
+            "heap_compactions": self._heap_compactions,
+            "peak_heap_size": self._peak_heap,
+            "pending": len(self._heap),
+            "wall_seconds": self._wall_seconds,
+        }
+
     # -- scheduling -------------------------------------------------------
 
     def schedule(self, delay: float, callback: Callable, *args: Any) -> Timer:
@@ -90,29 +177,62 @@ class Simulator:
         if delay < 0:
             raise SchedulingInPastError(f"negative delay {delay!r}")
         self._seq += 1
-        timer = Timer(self._now + delay, self._seq, callback, args)
-        heapq.heappush(self._heap, timer)
+        when = self._now + delay
+        timer = Timer(when, self._seq, callback, args, self)
+        heapq.heappush(self._heap, (when, self._seq, timer))
+        self._timers_created += 1
+        if len(self._heap) > self._peak_heap:
+            self._peak_heap = len(self._heap)
         return timer
 
     def call_soon(self, callback: Callable, *args: Any) -> Timer:
         """Run ``callback(*args)`` at the current time, after pending events."""
         return self.schedule(0.0, callback, *args)
 
+    def _on_timer_cancelled(self) -> None:
+        self._timers_cancelled += 1
+        self._cancelled_pending += 1
+        threshold = self.compact_threshold
+        if (
+            threshold
+            and self._cancelled_pending >= threshold
+            and self._cancelled_pending * 2 >= len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop tombstoned entries and re-heapify.  Pop order is preserved
+        because ``(when, seq)`` keys are unique.  Mutates the heap list in
+        place: cancel() can run mid-callback while run()/step() hold a
+        reference to the same list."""
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heapq.heapify(heap)
+        self._cancelled_pending = 0
+        self._heap_compactions += 1
+
     # -- execution --------------------------------------------------------
 
     def step(self) -> bool:
         """Process the single next event.  Returns False if the heap is empty."""
-        while self._heap:
-            timer = heapq.heappop(self._heap)
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            when, _seq, timer = pop(heap)
             if timer.cancelled:
+                self._cancelled_pending -= 1
                 continue
-            self._now = timer.when
+            self._now = when
             self._events_processed += 1
             if self._events_processed > self.max_events:
                 raise SimulationLimitExceeded(
                     f"exceeded {self.max_events} events at t={self._now:.3f}"
                 )
-            timer._fire()
+            callback, args = timer._callback, timer._args
+            timer.cancelled = True
+            timer._callback = None
+            timer._args = ()
+            callback(*args)
             return True
         return False
 
@@ -123,20 +243,27 @@ class Simulator:
         advanced exactly to ``until`` even if no event lands on it, so
         back-to-back ``run(until=...)`` calls compose predictably.
         """
-        if until is None:
-            while self.step():
-                pass
+        started = time.perf_counter()
+        try:
+            if until is None:
+                step = self.step
+                while step():
+                    pass
+                return self._now
+            heap = self._heap
+            while heap:
+                head = heap[0]
+                if head[2].cancelled:
+                    heapq.heappop(heap)
+                    self._cancelled_pending -= 1
+                    continue
+                if head[0] > until:
+                    break
+                self.step()
+            self._now = max(self._now, until)
             return self._now
-        while self._heap:
-            head = self._heap[0]
-            if head.cancelled:
-                heapq.heappop(self._heap)
-                continue
-            if head.when > until:
-                break
-            self.step()
-        self._now = max(self._now, until)
-        return self._now
+        finally:
+            self._wall_seconds += time.perf_counter() - started
 
     # -- tracing ----------------------------------------------------------
 

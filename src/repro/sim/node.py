@@ -18,7 +18,7 @@ recovered incarnation.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, Optional
+from typing import Any, Callable, Generator
 
 from repro.sim.kernel import Simulator, Timer
 from repro.sim.process import Process, spawn

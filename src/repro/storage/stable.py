@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import copy
 import enum
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 from repro.sim.future import Future
 from repro.sim.node import Node

@@ -22,7 +22,7 @@ reproducible.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 from repro.sim.future import Future
 from repro.txn.objects import READ, WRITE, LockInfo, ObjectStore, TentativeWrite

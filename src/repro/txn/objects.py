@@ -17,7 +17,7 @@ discarded while the rest of the transaction's writes survive.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, Iterable, Optional, Tuple
+from typing import Any, Dict, Iterable, Tuple
 
 READ = "read"
 WRITE = "write"

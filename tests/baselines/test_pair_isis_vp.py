@@ -1,6 +1,5 @@
 """Tests for the pair, Isis-like, and virtual-partitions baselines."""
 
-import pytest
 
 from repro import Runtime
 from repro.baselines.isis_like import IsisClient, IsisSystem

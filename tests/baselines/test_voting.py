@@ -4,7 +4,6 @@ import pytest
 
 from repro import Runtime
 from repro.baselines.voting import VotingClient, VotingSystem
-from repro.sim.process import spawn
 
 
 def build(n=3, r=1, w=3, seed=0):

@@ -1,6 +1,5 @@
 """Property-based tests for the communication buffer's force semantics."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.buffer import CommunicationBuffer

@@ -1,6 +1,5 @@
 """Tests for the client cache and remote-call machinery."""
 
-import pytest
 
 from repro.core.cache import ClientCache
 from repro.core.calls import CallAborted, RemoteCaller

@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro import EmptyModule, Runtime
+from repro import Runtime
 from repro.core import messages as m
 from repro.core.cohort import Status
-from repro.core.events import Aborted, Committed, Committing, Done, ViewEdit
+from repro.core.events import Aborted, Committing, Done, ViewEdit
 from repro.core.view import View
 from repro.core.viewstamp import ViewId, Viewstamp
 from repro.txn.ids import Aid, CallId

@@ -2,7 +2,6 @@
 
 import dataclasses
 
-import pytest
 
 from repro.config import ProtocolConfig
 from repro.core import messages as m

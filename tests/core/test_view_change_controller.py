@@ -1,14 +1,13 @@
 """Unit tests for view-change controller edge cases: preemption, stale
 messages, re-acceptance, and concurrent managers end to end."""
 
-import pytest
 
 from repro import Runtime
 from repro.core import messages as m
 from repro.core.cohort import Status
 from repro.core.viewstamp import ViewId
 
-from tests.conftest import CounterSpec, build_counter_system
+from tests.conftest import CounterSpec
 
 
 def build(seed=0):

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.viewstamp import History, ViewId, Viewstamp, compatible, vs_max
-from repro.txn.pset import PSet, PSetPair
+from repro.txn.pset import PSet
 
 V1 = ViewId(1, 0)
 V2 = ViewId(2, 1)

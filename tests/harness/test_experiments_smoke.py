@@ -5,7 +5,6 @@ these verify each experiment's *direction* quickly so harness regressions
 surface in the ordinary test run.
 """
 
-import pytest
 
 from repro.harness import (
     e01_call_overhead,

@@ -1,6 +1,5 @@
 """Integration tests for the config-level ablations used by the harness."""
 
-import pytest
 
 from repro.config import ProtocolConfig
 

@@ -1,13 +1,12 @@
 """Concurrent transactions: locking, serializability, deadlock breaking."""
 
-import pytest
 
 from repro import EmptyModule, Runtime, transaction_program
 from repro.analysis.serializability import SerializabilityChecker
 from repro.workloads.kv import KVStoreSpec
 from repro.workloads.loadgen import run_closed_loop
 
-from tests.conftest import build_bank_system, total_balance
+from tests.conftest import build_bank_system
 
 
 def build_kv(seed=61, n_keys=8):

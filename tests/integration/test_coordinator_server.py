@@ -1,6 +1,5 @@
 """The coordinator-server and unreplicated client agents (section 3.5)."""
 
-import pytest
 
 from repro import EmptyModule, Runtime
 from repro.workloads.kv import KVStoreSpec

@@ -1,11 +1,9 @@
 """Nested transactions / subactions (section 3.6)."""
 
-import pytest
 
 from repro import EmptyModule, Runtime, transaction_program
 from repro.sim.process import sleep
 from repro.workloads.kv import KVStoreSpec
-from repro.workloads.schedules import kill_primary_every
 
 
 def build(seed=51):

@@ -6,7 +6,6 @@ Figure 2" -- the nested call's pset pairs flow back through the reply so
 the coordinator prepares *every* group the transaction touched.
 """
 
-import pytest
 
 from repro import EmptyModule, ModuleSpec, Runtime, procedure, transaction_program
 from repro.app.context import TransactionAborted

@@ -1,12 +1,9 @@
 """Partitions: split-brain prevention, minority stalls, reconciliation."""
 
-import pytest
 
 from repro import EmptyModule, Runtime
-from repro.core.cohort import Status
 from repro.workloads.kv import KVStoreSpec, update_program, write_program
 
-from tests.conftest import build_counter_system
 
 
 def await_primary(rt, group, deadline=3000):

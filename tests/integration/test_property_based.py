@@ -6,7 +6,6 @@ safety battery.  Examples are kept small so the suite stays fast; the
 deeper (longer) randomized coverage lives in test_chaos.py.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro import EmptyModule, Runtime

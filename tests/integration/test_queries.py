@@ -1,10 +1,6 @@
 """The query protocol (section 3.4): outcome discovery after lost messages."""
 
-import pytest
 
-from repro import EmptyModule, Runtime
-from repro.core import messages as m
-from repro.core.cohort import Status
 from repro.txn.ids import Aid
 from repro.core.viewstamp import ViewId
 

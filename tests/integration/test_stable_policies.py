@@ -1,6 +1,5 @@
 """Stable-storage policy behaviour (section 4.2 spectrum)."""
 
-import pytest
 
 from repro.config import ProtocolConfig
 from repro.storage.stable import StableStoragePolicy

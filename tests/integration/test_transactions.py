@@ -1,9 +1,7 @@
 """End-to-end transaction processing in the failure-free case."""
 
-import pytest
 
 from repro import EmptyModule, Runtime, transaction_program
-from repro.app.context import TransactionAborted
 from repro.workloads.bank import (
     BankAccountsSpec,
     audit_program,

@@ -1,10 +1,8 @@
 """View changes end to end: crashes, recoveries, state survival."""
 
-import pytest
 
 from repro.core.cohort import Status
 
-from tests.conftest import build_counter_system
 
 
 def submit_ok(rt, driver, program, *args, time=400):

@@ -1,0 +1,107 @@
+"""BENCH.json schema round-trip and baseline comparison semantics."""
+
+import json
+
+import pytest
+
+from repro.perf.report import (
+    SCHEMA_VERSION,
+    PerfReport,
+    compare_to_baseline,
+    load_bench_json,
+    write_bench_json,
+)
+
+
+def _report(scenario="micro", events_per_sec=50_000.0, **overrides):
+    data = dict(
+        scenario=scenario,
+        seed=4242,
+        wall_seconds=0.5,
+        sim_seconds=1000.0,
+        events=25_000,
+        events_per_sec=events_per_sec,
+        sim_seconds_per_wall_second=2000.0,
+        timers_created=30_000,
+        timers_cancelled=4_000,
+        heap_compactions=1,
+        peak_heap_size=64,
+        messages_sent=9_000,
+        messages_delivered=8_500,
+        messages_dropped=500,
+        call_p50=2.2,
+        call_p99=9.8,
+        peak_heap_bytes=1_500_000,
+        ledger_digest="ab" * 32,
+        extra={"quick": True},
+    )
+    data.update(overrides)
+    return PerfReport(**data)
+
+
+def test_report_dict_round_trip():
+    report = _report()
+    assert PerfReport.from_dict(report.to_dict()) == report
+
+
+def test_bench_json_round_trip(tmp_path):
+    path = tmp_path / "BENCH.json"
+    reports = [_report("micro"), _report("soak", events_per_sec=70_000.0)]
+    write_bench_json(path, reports, mode="quick")
+
+    document = json.loads(path.read_text())
+    assert document["schema_version"] == SCHEMA_VERSION
+    assert document["mode"] == "quick"
+    assert set(document["scenarios"]) == {"micro", "soak"}
+
+    loaded = load_bench_json(path)
+    assert loaded["micro"] == reports[0]
+    assert loaded["soak"] == reports[1]
+
+
+def test_unknown_schema_version_rejected(tmp_path):
+    path = tmp_path / "BENCH.json"
+    path.write_text(json.dumps({"schema_version": 999, "scenarios": {}}))
+    with pytest.raises(ValueError, match="schema_version"):
+        load_bench_json(path)
+
+
+def test_missing_scenarios_rejected(tmp_path):
+    path = tmp_path / "BENCH.json"
+    path.write_text(json.dumps({"schema_version": SCHEMA_VERSION}))
+    with pytest.raises(ValueError, match="scenarios"):
+        load_bench_json(path)
+
+
+def test_from_dict_ignores_unknown_future_fields():
+    data = _report().to_dict()
+    data["added_in_schema_v2"] = "whatever"
+    assert PerfReport.from_dict(data) == _report()
+
+
+def test_compare_passes_within_allowance():
+    baseline = {"micro": _report(events_per_sec=50_000.0)}
+    current = {"micro": _report(events_per_sec=41_000.0)}
+    assert compare_to_baseline(current, baseline, max_regression=0.20) == []
+
+
+def test_compare_fails_past_allowance():
+    baseline = {"micro": _report(events_per_sec=50_000.0)}
+    current = {"micro": _report(events_per_sec=39_000.0)}
+    failures = compare_to_baseline(current, baseline, max_regression=0.20)
+    assert len(failures) == 1
+    assert "micro" in failures[0]
+
+
+def test_compare_flags_scenarios_missing_from_either_side():
+    baseline = {"micro": _report(), "soak": _report("soak")}
+    current = {"micro": _report(), "extra": _report("extra")}
+    failures = compare_to_baseline(current, baseline)
+    assert any("soak" in failure for failure in failures)
+    assert any("extra" in failure for failure in failures)
+
+
+def test_improvement_never_fails_the_gate():
+    baseline = {"micro": _report(events_per_sec=50_000.0)}
+    current = {"micro": _report(events_per_sec=500_000.0)}
+    assert compare_to_baseline(current, baseline) == []

@@ -1,0 +1,68 @@
+"""End-to-end checks of the perf runner: scenario capture + CLI gate."""
+
+import json
+
+from repro.perf.report import write_bench_json
+from repro.perf.runner import main
+from repro.perf.scenarios import SCENARIOS, run_scenario
+
+
+def _micro_scenario():
+    return next(s for s in SCENARIOS if s.name == "micro_call_overhead")
+
+
+def test_run_scenario_produces_populated_report():
+    report = run_scenario(_micro_scenario(), quick=True)
+    assert report.scenario == "micro_call_overhead"
+    assert report.events > 0
+    assert report.events_per_sec > 0
+    assert report.sim_seconds > 0
+    assert report.timers_created >= report.events
+    assert report.messages_delivered > 0
+    assert report.peak_heap_bytes > 0
+    assert len(report.ledger_digest) == 64
+    assert report.call_p50 is not None and report.call_p99 is not None
+    assert report.extra == {"quick": True}
+
+
+def test_cli_writes_valid_bench_json_and_gates(tmp_path):
+    out = tmp_path / "BENCH.json"
+    argv = ["--quick", "--scenario", "micro_call_overhead", "--out", str(out)]
+    assert main(argv) == 0
+    document = json.loads(out.read_text())
+    assert document["schema_version"] == 1
+    assert "micro_call_overhead" in document["scenarios"]
+
+    # Gate against itself: zero regression, must pass.
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(out.read_text())
+    assert main(argv + ["--baseline", str(baseline)]) == 0
+
+    # Inflate the baseline far past reality: the gate must fail.
+    inflated = json.loads(out.read_text())
+    for data in inflated["scenarios"].values():
+        data["events_per_sec"] *= 1000.0
+    baseline.write_text(json.dumps(inflated))
+    assert main(argv + ["--baseline", str(baseline)]) == 1
+
+
+def test_cli_update_baseline_writes_both_files(tmp_path):
+    out = tmp_path / "BENCH.json"
+    baseline = tmp_path / "baseline.json"
+    argv = [
+        "--quick", "--scenario", "micro_call_overhead",
+        "--out", str(out), "--baseline", str(baseline), "--update-baseline",
+    ]
+    assert main(argv) == 0
+    assert json.loads(out.read_text()) == json.loads(baseline.read_text())
+
+
+def test_cli_rejects_unreadable_baseline(tmp_path):
+    out = tmp_path / "BENCH.json"
+    bogus = tmp_path / "nope.json"
+    write_bench_json(out, [], mode="quick")  # exercise empty-doc path too
+    argv = [
+        "--quick", "--scenario", "micro_call_overhead",
+        "--out", str(out), "--baseline", str(bogus),
+    ]
+    assert main(argv) == 2

@@ -1,6 +1,5 @@
 """Tests for the stable storage model."""
 
-import pytest
 
 from repro.sim.kernel import Simulator
 from repro.sim.node import Node

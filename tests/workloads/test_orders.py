@@ -1,6 +1,5 @@
 """Tests for the three-service order workload."""
 
-import pytest
 
 from repro import EmptyModule, Runtime
 from repro.workloads.loadgen import run_closed_loop

@@ -1,12 +1,11 @@
 """Tests for workload specs, the load generator, and failure schedules."""
 
-import pytest
 
 from repro import EmptyModule, Runtime
 from repro.workloads.airline import AirlineSpec, check_airline_invariants
 from repro.workloads.bank import BankAccountsSpec
 from repro.workloads.kv import KVStoreSpec
-from repro.workloads.loadgen import ClosedLoopStats, run_closed_loop
+from repro.workloads.loadgen import run_closed_loop
 from repro.workloads.schedules import (
     CrashRecoverySchedule,
     PartitionSchedule,
