@@ -43,7 +43,7 @@ from repro.app import (
     procedure,
     transaction_program,
 )
-from repro.config import ProtocolConfig
+from repro.config import ProtocolConfig, TraceConfig
 from repro.core import ModuleGroup, View, ViewId, Viewstamp
 from repro.driver import Driver
 from repro.faults import FaultController, FaultPlan, Nemesis
@@ -69,6 +69,7 @@ __all__ = [
     "ProtocolConfig",
     "Runtime",
     "StableStoragePolicy",
+    "TraceConfig",
     "View",
     "ViewId",
     "Viewstamp",

@@ -72,6 +72,7 @@ class ClientAgent(Actor):
         self.config = runtime.config
         self.coordinator_group = coordinator_group
         self.metrics = runtime.metrics
+        self.tracer = runtime.tracer
         self.cache = ClientCache()
         self.rtt = RttEstimator()  # fed by RemoteCaller.on_reply
         self.timeouts = AdaptiveTimeouts(self.config, self.rtt)

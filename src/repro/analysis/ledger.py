@@ -66,9 +66,29 @@ class TransactionLedger:
         self.view_change_started: List[Tuple[str, float]] = []
         self.faults: List[FaultEvent] = []
         self.detector_events: List[DetectorEvent] = []
+        self._last_at: Dict[str, float] = {}
 
     def _now(self) -> float:
         return self._clock() if self._clock is not None else 0.0
+
+    def _check_at(self, stream: str, at: float) -> float:
+        """Shared timestamp validation for every timeline stream.
+
+        Each stream's entries must carry non-negative, non-decreasing
+        times: the ledger is an observer of a deterministic simulation, so
+        a regression means a caller passed a stale or wrong clock value --
+        corrupting the availability statistics silently.  Fail loudly.
+        """
+        if at < 0:
+            raise ValueError(f"ledger {stream!r} event at negative time {at!r}")
+        last = self._last_at.get(stream)
+        if last is not None and at < last:
+            raise ValueError(
+                f"ledger {stream!r} event at {at!r} is before the stream's "
+                f"latest entry at {last!r}"
+            )
+        self._last_at[stream] = at
+        return at
 
     # -- protocol-facing hooks ------------------------------------------------
 
@@ -90,12 +110,16 @@ class TransactionLedger:
         self.effects.setdefault((aid, groupid), (dict(reads), dict(writes)))
 
     def record_view_change_started(self, groupid: str, at: float) -> None:
-        self.view_change_started.append((groupid, at))
+        self.view_change_started.append(
+            (groupid, self._check_at("view_change", at))
+        )
 
     def record_fault(self, kind: str, target: str, at: float) -> None:
         """Injected-fault timeline entry, so analysis can correlate
         latency spikes and aborts with the fault that caused them."""
-        self.faults.append(FaultEvent(at=at, kind=kind, target=target))
+        self.faults.append(
+            FaultEvent(at=self._check_at("fault", at), kind=kind, target=target)
+        )
 
     def record_detector_event(
         self, kind: str, groupid: str, observer: int, target: int, at: float
@@ -103,7 +127,11 @@ class TransactionLedger:
         """Suspicion/trust transition from a cohort's failure detector."""
         self.detector_events.append(
             DetectorEvent(
-                at=at, kind=kind, groupid=groupid, observer=observer, target=target
+                at=self._check_at("detector", at),
+                kind=kind,
+                groupid=groupid,
+                observer=observer,
+                target=target,
             )
         )
 
@@ -113,7 +141,7 @@ class TransactionLedger:
                 groupid=groupid,
                 viewid=viewid,
                 primary=primary,
-                completed_at=self._now(),
+                completed_at=self._check_at("view_change_completed", self._now()),
             )
         )
 

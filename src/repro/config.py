@@ -16,6 +16,7 @@ The paper's engineering advice is encoded in the defaults:
 from __future__ import annotations
 
 import dataclasses
+from typing import Optional, Tuple, Union
 
 from repro.storage.stable import StableStoragePolicy
 
@@ -100,3 +101,24 @@ class ProtocolConfig:
     def suspect_timeout(self) -> float:
         """Silence longer than this marks a cohort unreachable."""
         return self.im_alive_interval * self.suspect_multiplier
+
+
+@dataclasses.dataclass
+class TraceConfig:
+    """Knobs for :mod:`repro.trace` (pass to ``Runtime(trace=...)``).
+
+    Tracing is wired at Runtime construction: omitting ``trace`` (or
+    setting ``enabled=False``) leaves every instrumented hot path with a
+    ``tracer is None`` test and nothing else -- the zero-cost path the
+    ``trace_overhead`` perf scenario regression-gates.
+    """
+
+    enabled: bool = True
+    #: Bounded in-memory sink: oldest events are evicted past this size.
+    ring_size: int = 65_536
+    #: "all", or an explicit tuple of monitor names from
+    #: :data:`repro.trace.monitors.MONITORS` (empty tuple = tracing only).
+    monitors: Union[str, Tuple[str, ...]] = "all"
+    #: Written by ``Tracer.maybe_export()``: ``*.json`` gets Chrome
+    #: ``trace_event`` format, anything else JSONL.
+    export_path: Optional[str] = None

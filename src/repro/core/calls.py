@@ -88,6 +88,7 @@ class RemoteCaller:
         self._outstanding: Dict[CallId, _OutstandingCall] = {}
         # Named fork: adding consumers elsewhere never perturbs this stream.
         self._rng = host.sim.rng.fork(f"call-backoff/{host.address}")
+        self._tracer = getattr(host, "tracer", None)
 
     def _live_call_timeout(self) -> float:
         """The per-attempt wait: RTT-derived when the host carries an
@@ -135,6 +136,16 @@ class RemoteCaller:
                 jitter=config.backoff_jitter,
             )
         self._outstanding[call_id] = state
+        if self._tracer is not None:
+            self._tracer.emit(
+                "call_start",
+                node=self.host.node.node_id,
+                caller=self.host.address,
+                aid=str(aid),
+                call_id=str(call_id),
+                group=groupid,
+                proc=proc,
+            )
         self._dispatch(state)
         return future
 
@@ -228,6 +239,14 @@ class RemoteCaller:
         rtt = getattr(self.host, "rtt", None)
         if rtt is not None:
             rtt.observe(latency)
+        if self._tracer is not None:
+            self._tracer.emit(
+                "call_reply",
+                node=self.host.node.node_id,
+                caller=self.host.address,
+                call_id=str(msg.call_id),
+                latency=latency,
+            )
         state.future.set_result((msg.result, msg.pset_pairs, msg.piggyback))
 
     def on_call_failed(self, msg: CallFailedMsg) -> None:
@@ -236,6 +255,14 @@ class RemoteCaller:
             return
         if state.timer is not None:
             state.timer.cancel()
+        if self._tracer is not None:
+            self._tracer.emit(
+                "call_failed",
+                node=self.host.node.node_id,
+                caller=self.host.address,
+                call_id=str(msg.call_id),
+                reason=msg.reason,
+            )
         state.future.set_exception(CallAborted(msg.reason))
 
     def on_view_changed(self, msg: ViewChangedMsg) -> None:
@@ -329,6 +356,14 @@ class RemoteCaller:
     def _fail(self, state: _OutstandingCall, reason: str) -> None:
         if state.timer is not None:
             state.timer.cancel()
+        if self._tracer is not None:
+            self._tracer.emit(
+                "call_failed",
+                node=self.host.node.node_id,
+                caller=self.host.address,
+                call_id=str(state.call_id),
+                reason=reason,
+            )
         if not state.future.done:
             state.future.set_exception(CallAborted(reason))
         self._outstanding.pop(state.call_id, None)

@@ -223,6 +223,14 @@ class ClientRole:
         self._txns[aid] = state
         self._created.add(aid)
         cohort.metrics.incr(f"txns_started:{cohort.mygroupid}")
+        if cohort.tracer is not None:
+            cohort.tracer.emit(
+                "txn_begin",
+                node=cohort.node.node_id,
+                group=cohort.mygroupid,
+                aid=str(aid),
+                program=program,
+            )
         process = cohort.spawn(self._drive(state, program_fn, args), name=f"txn:{aid}")
 
         def on_process_done(proc_future: Future) -> None:
@@ -317,6 +325,14 @@ class ClientRole:
         txn = state.txn
         txn.phase = "preparing"
         participants = txn.pset.participants()
+        if cohort.tracer is not None:
+            cohort.tracer.emit(
+                "txn_prepare",
+                node=cohort.node.node_id,
+                group=cohort.mygroupid,
+                aid=str(txn.aid),
+                participants=sorted(participants),
+            )
         if not participants:
             # No calls were made; nothing to commit anywhere.
             txn.phase = "done"
@@ -408,7 +424,9 @@ class ClientRole:
             sorted(g for g, read_only in state.prepare_ok.items() if not read_only)
         )
         pset_pairs = tuple(txn.pset.pairs())
-        cohort.add_record(Committing(aid=txn.aid, plist=plist, pset_pairs=pset_pairs))
+        committing_vs = cohort.add_record(
+            Committing(aid=txn.aid, plist=plist, pset_pairs=pset_pairs)
+        )
         force = cohort.force_all()
         epoch = cohort._epoch
         forced_at = cohort.sim.now
@@ -419,15 +437,31 @@ class ClientRole:
             if cohort._epoch != epoch or not cohort.is_active_primary:
                 return
             cohort.metrics.observe("commit_force_latency", cohort.sim.now - forced_at)
-            self._commit_point(state, plist, pset_pairs)
+            self._commit_point(state, plist, pset_pairs, committing_vs.ts)
 
         force.add_done_callback(after_force)
 
-    def _commit_point(self, state: _RunningTxn, plist, pset_pairs) -> None:
+    def _commit_point(
+        self, state: _RunningTxn, plist, pset_pairs, forced_ts: int
+    ) -> None:
         """The committing record is known to a majority: the transaction is
         durably committed.  User code continues now."""
         cohort = self.cohort
         txn = state.txn
+        if cohort.tracer is not None:
+            # Evaluated synchronously with the force resolution, so the
+            # buffer's ack table still reflects the quorum that satisfied
+            # it -- the commit-quorum monitor audits exactly this snapshot.
+            cohort.tracer.emit(
+                "commit_point",
+                node=cohort.node.node_id,
+                group=cohort.mygroupid,
+                aid=str(txn.aid),
+                viewid=str(cohort.cur_viewid),
+                force_ts=forced_ts,
+                acked={str(k): v for k, v in cohort.buffer.acked.items()},
+                config_size=cohort.config_size,
+            )
         cohort.outcomes[txn.aid] = "committed"
         cohort.runtime.ledger.record_commit(txn.aid)
         cohort.metrics.incr(f"txns_committed:{cohort.mygroupid}")
@@ -506,6 +540,7 @@ class ClientRole:
         state = _RunningTxn(txn=txn, future=Future(label=f"resumed:{aid}"))
         state.future.set_result(("committed", None))
         self._txns[aid] = state
+        forced_ts = cohort.buffer.timestamp
         force = cohort.force_all()
         epoch = cohort._epoch
 
@@ -515,7 +550,7 @@ class ClientRole:
             if cohort._epoch != epoch or not cohort.is_active_primary:
                 return
             cohort.metrics.incr(f"commits_resumed:{cohort.mygroupid}")
-            self._commit_point(state, tuple(plist), tuple(pset_pairs))
+            self._commit_point(state, tuple(plist), tuple(pset_pairs), forced_ts)
 
         force.add_done_callback(after_force)
 
@@ -540,6 +575,14 @@ class ClientRole:
             cohort.add_record(Aborted(aid=txn.aid))
         cohort.runtime.ledger.record_abort(txn.aid, reason)
         cohort.metrics.incr(f"txns_aborted:{cohort.mygroupid}")
+        if cohort.tracer is not None:
+            cohort.tracer.emit(
+                "txn_abort",
+                node=cohort.node.node_id,
+                group=cohort.mygroupid,
+                aid=str(txn.aid),
+                reason=reason,
+            )
         if not state.future.done:
             state.future.set_result(("aborted", None))
 

@@ -80,6 +80,7 @@ class Cohort(Actor):
         self.runtime = runtime
         self.config = config
         self.metrics = runtime.metrics
+        self.tracer = runtime.tracer
         self.spec = spec
 
         # -- stable state (written at creation, survives crashes) --
@@ -142,6 +143,17 @@ class Cohort(Actor):
         runtime.network.register(self)
         if self.is_primary:
             self._open_buffer()
+            if self.tracer is not None:
+                # The constructor never goes through activate_as_primary,
+                # so the initial view's activation is emitted here.
+                self.tracer.emit(
+                    "primary_activated",
+                    node=self.node.node_id,
+                    group=self.mygroupid,
+                    mid=self.mymid,
+                    viewid=str(self.cur_viewid),
+                    members=sorted(self.cur_view.members),
+                )
         self._start_heartbeat()
         if self.is_primary:
             self._start_flush_loop()
@@ -300,6 +312,17 @@ class Cohort(Actor):
         viewstamp = self.buffer.add(record)
         self.history.advance(viewstamp.id, viewstamp.ts)
         self._record_bookkeeping(viewstamp, record, at_backup=False)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "record_added",
+                node=self.node.node_id,
+                group=self.mygroupid,
+                mid=self.mymid,
+                viewid=str(viewstamp.id),
+                ts=viewstamp.ts,
+                rtype=type(record).__name__,
+                role="primary",
+            )
         if self.config.storage_policy is not StableStoragePolicy.MINIMAL:
             # Section 4.2's hardening: "we might supply each cohort with a
             # universal power supply and have them write information to
@@ -416,6 +439,17 @@ class Cohort(Actor):
             viewstamp = Viewstamp(self.cur_viewid, ts)
             self.history.advance(self.cur_viewid, ts)
             self._record_bookkeeping(viewstamp, record, at_backup=True)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "record_added",
+                    node=self.node.node_id,
+                    group=self.mygroupid,
+                    mid=self.mymid,
+                    viewid=str(self.cur_viewid),
+                    ts=ts,
+                    rtype=type(record).__name__,
+                    role="backup",
+                )
             if self.config.storage_policy is StableStoragePolicy.ALL:
                 self.stable.write_immediate("gstate", self._gstate_snapshot())
 
@@ -657,6 +691,18 @@ class Cohort(Actor):
         self.status = Status.ACTIVE
         self.up_to_date = True
         self.applied_ts = 0
+        if self.tracer is not None:
+            # Emitted before the newview record is added so the
+            # single-primary monitor sees the activation even if the
+            # history rejects the record (the very bug it exists to catch).
+            self.tracer.emit(
+                "primary_activated",
+                node=self.node.node_id,
+                group=self.mygroupid,
+                mid=self.mymid,
+                viewid=str(viewid),
+                members=sorted(view.members),
+            )
         self._open_buffer()
         newview = NewView(
             view=view,
@@ -700,6 +746,14 @@ class Cohort(Actor):
         self.up_to_date = True
         self.status = Status.ACTIVE
         self.buffer = None
+        if self.tracer is not None:
+            self.tracer.emit(
+                "newview_installed",
+                node=self.node.node_id,
+                group=self.mygroupid,
+                mid=self.mymid,
+                viewid=str(viewid),
+            )
         self._ack_buffer()
         self.metrics.incr(f"views_joined:{self.mygroupid}")
 

@@ -235,6 +235,7 @@ class ServerRole:
         aid = msg.aid
         outcome = cohort.outcomes.get(aid)
         if outcome == "aborted":
+            self._trace_prepare(aid, "refused", reason="already aborted")
             cohort.send(
                 msg.coordinator,
                 m.PrepareRefusedMsg(
@@ -257,6 +258,7 @@ class ServerRole:
             # Ablation: the virtual-partitions rule -- a transaction that
             # was active across a view change cannot prepare (section 5).
             self._local_abort(aid)
+            self._trace_prepare(aid, "refused", reason="active across a view change")
             cohort.send(
                 msg.coordinator,
                 m.PrepareRefusedMsg(
@@ -270,6 +272,7 @@ class ServerRole:
         if not compatible(msg.pset_pairs, cohort.mygroupid, cohort.history):
             # Some call of this transaction was lost in a view change.
             self._local_abort(aid)
+            self._trace_prepare(aid, "refused", reason="pset incompatible with history")
             cohort.send(
                 msg.coordinator,
                 m.PrepareRefusedMsg(
@@ -312,6 +315,7 @@ class ServerRole:
                 coordinator=msg.coordinator, pset_pairs=tuple(msg.pset_pairs)
             )
             self._unprepared_queries.pop(aid, None)
+        self._trace_prepare(aid, "accepted", read_only=read_only)
         cohort.send(
             msg.coordinator,
             m.PrepareOkMsg(aid=aid, groupid=cohort.mygroupid, read_only=read_only),
@@ -340,12 +344,31 @@ class ServerRole:
                 cohort.lockmgr.discard_subaction(aid, record.call_id.subaction)
                 del calls[viewstamp]
 
+    def _trace_prepare(self, aid: Aid, decision: str, **detail) -> None:
+        cohort = self.cohort
+        if cohort.tracer is not None:
+            cohort.tracer.emit(
+                "prepare_decision",
+                node=cohort.node.node_id,
+                group=cohort.mygroupid,
+                aid=str(aid),
+                decision=decision,
+                **detail,
+            )
+
     def _local_abort(self, aid: Aid) -> None:
         cohort = self.cohort
         cohort.lockmgr.discard(aid)
         cohort.add_record(Aborted(aid=aid))
         self.prepared.pop(aid, None)
         self._unprepared_queries.pop(aid, None)
+        if cohort.tracer is not None:
+            cohort.tracer.emit(
+                "abort_applied",
+                node=cohort.node.node_id,
+                group=cohort.mygroupid,
+                aid=str(aid),
+            )
 
     # ------------------------------------------------------------------
     # commit / abort (Figure 3)
@@ -367,6 +390,14 @@ class ServerRole:
         viewstamp = cohort.add_record(record)
         self.prepared.pop(aid, None)
         self._unprepared_queries.pop(aid, None)
+        if cohort.tracer is not None:
+            cohort.tracer.emit(
+                "commit_applied",
+                node=cohort.node.node_id,
+                group=cohort.mygroupid,
+                aid=str(aid),
+                ts=viewstamp.ts,
+            )
         force = cohort.force_to(viewstamp)
         epoch = cohort._epoch
 

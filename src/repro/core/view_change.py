@@ -107,6 +107,13 @@ class ViewChangeController:
         cohort.runtime.ledger.record_view_change_started(
             cohort.mygroupid, cohort.sim.now
         )
+        if cohort.tracer is not None:
+            cohort.tracer.emit(
+                "view_manager",
+                node=cohort.node.node_id,
+                group=cohort.mygroupid,
+                mid=cohort.mymid,
+            )
         self._make_invitations()
 
     def _make_invitations(self) -> None:
@@ -215,6 +222,15 @@ class ViewChangeController:
         self._cancel_timers()
         self._installing = False
         cohort.status = Status.UNDERLING
+        if cohort.tracer is not None:
+            cohort.tracer.emit(
+                "invite_accepted",
+                node=cohort.node.node_id,
+                group=cohort.mygroupid,
+                mid=cohort.mymid,
+                viewid=str(viewid),
+                manager=manager_mid,
+            )
         cohort.send_mid(manager_mid, self._own_acceptance())
         self._arm_await_timer()
 
@@ -290,6 +306,17 @@ class ViewChangeController:
             self._retry_timer = cohort.set_timer(delay, self._make_invitations)
             return
         self._formed = True
+        if cohort.tracer is not None:
+            cohort.tracer.emit(
+                "view_formed",
+                node=cohort.node.node_id,
+                group=cohort.mygroupid,
+                mid=cohort.mymid,
+                viewid=str(cohort.max_viewid),
+                primary=view.primary,
+                members=sorted(view.members),
+                config_size=cohort.config_size,
+            )
         if self._retry_backoff is not None and self._retry_backoff.reset():
             cohort.metrics.incr(f"backoff_resets:{cohort.mygroupid}")
         if view.primary == cohort.mymid:

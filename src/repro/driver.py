@@ -44,6 +44,7 @@ class Driver(Actor):
         super().__init__(node, name)
         self.runtime = runtime
         self.config = runtime.config
+        self.tracer = runtime.tracer
         self.cache = ClientCache()
         self.rtt = RttEstimator()  # fed by observed end-to-end txn latencies
         self._rng = runtime.sim.rng.fork(f"driver-backoff/{name}")
@@ -100,6 +101,15 @@ class Driver(Actor):
                 jitter=self.config.backoff_jitter,
             )
         self._requests[request.request_id] = request
+        if self.tracer is not None:
+            self.tracer.emit(
+                "txn_submit",
+                node=self.node.node_id,
+                driver=self.address,
+                request_id=request.request_id,
+                group=groupid,
+                program=program,
+            )
         self._send(request)
         return request.future
 
@@ -139,12 +149,31 @@ class Driver(Actor):
             return
         if request.retries_left <= 0:
             self._requests.pop(request_id, None)
-            if not request.future.done:
-                request.future.set_result(("unknown", None))
+            self._resolve_unknown(request, "retries exhausted")
             return
         request.retries_left -= 1
         self.cache.invalidate(request.groupid)
         self._send(request)
+
+    def _resolve_unknown(self, request: _PendingRequest, reason: str) -> None:
+        """Give up on a request: the attempt may or may not have committed
+        (the ledger is the ground truth).  Cancelling and nulling the timer
+        matters on the kernel's lazy-cancel path: a resolved request must
+        not pin a live heap entry (or fire into a cleared table) later."""
+        if request.timer is not None:
+            request.timer.cancel()
+            request.timer = None
+        if not request.future.done:
+            request.future.set_result(("unknown", None))
+        if self.tracer is not None:
+            self.tracer.emit(
+                "txn_outcome",
+                node=self.node.node_id,
+                driver=self.address,
+                request_id=request.request_id,
+                outcome="unknown",
+                reason=reason,
+            )
 
     # -- message handling ---------------------------------------------------------
 
@@ -159,6 +188,14 @@ class Driver(Actor):
                 latency = self.sim.now - request.submitted_at
                 self.runtime.metrics.observe("driver_txn_latency", latency)
                 self.rtt.observe(latency)
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "txn_outcome",
+                        node=self.node.node_id,
+                        driver=self.address,
+                        request_id=message.request_id,
+                        outcome=message.outcome,
+                    )
                 request.future.set_result((message.outcome, message.result))
         elif isinstance(message, m.ViewProbeReplyMsg):
             if message.active and message.viewid is not None:
@@ -198,11 +235,7 @@ class Driver(Actor):
 
     def on_crash(self) -> None:
         # Losing volatile state must not strand callers: resolve every
-        # pending submission to "unknown" (the attempt may or may not have
-        # committed; the ledger is the ground truth) and drop its timer.
+        # pending submission to "unknown" and drop its timer.
         for request in self._requests.values():
-            if request.timer is not None:
-                request.timer.cancel()
-            if not request.future.done:
-                request.future.set_result(("unknown", None))
+            self._resolve_unknown(request, "driver crashed")
         self._requests.clear()

@@ -46,6 +46,7 @@ def build_kv_system(
     config: Optional[ProtocolConfig] = None,
     link=None,
     register=("get", "put", "update"),
+    trace=None,
 ) -> Tuple[Runtime, object, object, object, KVStoreSpec]:
     """Runtime with a KV group, a client group, and a driver."""
     from repro.workloads.kv import read_program, update_program, write_program
@@ -55,6 +56,8 @@ def build_kv_system(
         kwargs["config"] = config
     if link is not None:
         kwargs["link"] = link
+    if trace is not None:
+        kwargs["trace"] = trace
     rt = Runtime(seed=seed, **kwargs)
     spec = KVStoreSpec(n_keys=n_keys)
     kv = rt.create_group("kv", spec, n_cohorts=n_cohorts)

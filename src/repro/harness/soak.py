@@ -20,19 +20,26 @@ import argparse
 import sys
 
 from repro import Nemesis
+from repro.config import TraceConfig
 from repro.harness.common import build_kv_system
 from repro.sim.process import sleep, spawn
 
 
 def run_soak(seed: int = 2026, duration: float = 15_000.0,
-             verbose: bool = True, on_runtime=None) -> dict:
+             verbose: bool = True, on_runtime=None, trace=None) -> dict:
     """One soak run; returns summary stats, raises AssertionError on a
-    safety violation or failure to re-converge.
+    safety violation, an online invariant violation (``trace`` with
+    monitors enabled), or failure to re-converge.
 
     ``on_runtime``, if given, is called with the :class:`~repro.Runtime`
     immediately after construction -- repro.perf uses it to read kernel
-    counters off the finished run without changing the return type."""
-    rt, kv, _clients, driver, spec = build_kv_system(seed=seed, n_cohorts=3)
+    counters off the finished run without changing the return type.
+    ``trace`` (a :class:`~repro.config.TraceConfig`) defaults to off so
+    perf-gated soak runs keep their exact historical cost; the CLI below
+    turns monitors on by default."""
+    rt, kv, _clients, driver, spec = build_kv_system(
+        seed=seed, n_cohorts=3, trace=trace
+    )
     if on_runtime is not None:
         on_runtime(rt)
     node_ids = [node.node_id for node in kv.nodes()]
@@ -74,9 +81,14 @@ def run_soak(seed: int = 2026, duration: float = 15_000.0,
     assert kv.active_primary() is not None, "group never re-formed a view"
     rt.check_invariants(require_convergence=True)
 
+    if rt.tracer is not None:
+        rt.tracer.maybe_export()
     stats = {
         "seed": seed,
         "duration": duration,
+        "trace_events": (
+            rt.tracer.events_emitted if rt.tracer is not None else 0
+        ),
         "probes": outcomes["total"],
         "committed": outcomes["ok"],
         "availability": round(outcomes["ok"] / max(outcomes["total"], 1), 3),
@@ -99,9 +111,30 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seed", type=int, default=2026)
     parser.add_argument("--duration", type=float, default=15_000.0)
+    parser.add_argument(
+        "--monitors", default="all",
+        help='comma-separated repro.trace monitor names, "all", or "none" '
+             "to disable tracing entirely (default: all)",
+    )
+    parser.add_argument(
+        "--trace-export", default=None, metavar="PATH",
+        help="write the trace to PATH (.json = Chrome format, else JSONL)",
+    )
+    parser.add_argument("--ring-size", type=int, default=65_536)
     args = parser.parse_args(argv)
+    trace = None
+    if args.monitors != "none":
+        monitors = (
+            "all" if args.monitors == "all"
+            else tuple(name for name in args.monitors.split(",") if name)
+        )
+        trace = TraceConfig(
+            monitors=monitors,
+            ring_size=args.ring_size,
+            export_path=args.trace_export,
+        )
     try:
-        run_soak(seed=args.seed, duration=args.duration)
+        run_soak(seed=args.seed, duration=args.duration, trace=trace)
     except AssertionError as failure:
         print(f"SOAK FAILED: {failure}", file=sys.stderr)
         return 1

@@ -52,6 +52,9 @@ class Network:
         self.messages_delivered_total = 0
         self.messages_dropped_total = 0
         self.messages_duplicated_total = 0
+        # repro.trace attachment point; None = tracing disabled (the
+        # per-message cost is then one load + ``is None`` test per hook).
+        self.tracer = None
 
     def perf_counters(self) -> dict:
         """Message-plane counters as a plain dict (for :mod:`repro.perf`)."""
@@ -144,22 +147,31 @@ class Network:
         )
         self.messages_sent_total += 1
         self.metrics.on_send(payload.msg_type, payload.byte_size())
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.on_send(envelope)
 
         src_node = self.node_of(source)
         if src_node is not None and not src_node.up:
             # A crashed node cannot send; count it for debugging visibility.
             self.messages_dropped_total += 1
             self.metrics.on_drop(payload.msg_type)
+            if tracer is not None:
+                tracer.on_drop(envelope, "source_crashed", source)
             return
         if not self.can_communicate(source, destination):
             self.messages_dropped_total += 1
             self.metrics.on_drop(payload.msg_type)
+            if tracer is not None:
+                tracer.on_drop(envelope, "partitioned_at_send", source)
             return
 
         model = self._link_overrides.get((source, destination), self.link)
         if model.drops(self.rng):
             self.messages_dropped_total += 1
             self.metrics.on_drop(payload.msg_type)
+            if tracer is not None:
+                tracer.on_drop(envelope, "link_loss", source)
             return
         self.sim.schedule(model.draw_delay(self.rng), self._deliver, envelope)
         if model.duplicates(self.rng):
@@ -168,14 +180,19 @@ class Network:
             self.sim.schedule(model.draw_delay(self.rng), self._deliver, envelope)
 
     def _deliver(self, envelope: Envelope) -> None:
+        tracer = self.tracer
         actor = self._actors.get(envelope.destination)
         if actor is None or not actor.node.up:
             self.messages_dropped_total += 1
             self.metrics.on_drop(envelope.payload.msg_type)
+            if tracer is not None:
+                tracer.on_drop(envelope, "destination_down", envelope.destination)
             return
         if not self.can_communicate(envelope.source, envelope.destination):
             self.messages_dropped_total += 1
             self.metrics.on_drop(envelope.payload.msg_type)
+            if tracer is not None:
+                tracer.on_drop(envelope, "partitioned_in_flight", envelope.destination)
             return
         if envelope.msg_id in self._delivered_ids:
             # Network-generated duplicate: suppressed per section 3.1.
@@ -188,4 +205,12 @@ class Network:
             self._delivered_ids = {i for i in self._delivered_ids if i > cutoff}
         self.messages_delivered_total += 1
         self.metrics.on_deliver(envelope.payload.msg_type)
-        actor.handle_message(envelope.payload, envelope.source)
+        if tracer is None:
+            actor.handle_message(envelope.payload, envelope.source)
+            return
+        eid = tracer.on_deliver(envelope)
+        tracer.push(eid)
+        try:
+            actor.handle_message(envelope.payload, envelope.source)
+        finally:
+            tracer.pop()

@@ -1,6 +1,6 @@
 """The fixed, seeded scenario suite behind ``python -m repro.perf``.
 
-Four scenarios spanning the regimes the roadmap cares about:
+Five scenarios spanning the regimes the roadmap cares about:
 
 - ``micro_call_overhead``: the normal-case hot path -- a closed-loop
   read/write mix against a healthy 3-cohort group on a LAN.  This is the
@@ -12,6 +12,9 @@ Four scenarios spanning the regimes the roadmap cares about:
   retransmission and failure detection (where lazy-cancel compaction pays).
 - ``chaos_soak``: the seeded chaos soak from ``repro.harness.soak``,
   including its safety asserts.
+- ``trace_overhead``: the same micro workload with repro.trace disabled,
+  ring-buffered, and fully exported; regression-gates the tracing
+  subsystem's "zero cost when disabled" claim.
 
 Every scenario is deterministic given its pinned seed; ``quick`` scales the
 workload down for CI without changing its shape.
@@ -106,6 +109,56 @@ def _lossy_storm(quick: bool):
     return rt
 
 
+def _trace_overhead(quick: bool):
+    """The repro.trace zero-cost claim, measured: the same seeded KV batch
+    with tracing disabled, with the in-memory ring (+ all monitors), and
+    with a full JSONL export.  The disabled pass is the one the report's
+    events/s figure and digest come from, so the baseline gate fails if
+    instrumented-but-disabled hot paths regress; the ratios land in
+    ``extra`` for the record."""
+    import os
+    import tempfile
+
+    txns = 150 if quick else 450
+
+    def one(trace):
+        rt, _kv, _clients, driver, spec = build_kv_system(
+            seed=4242, n_cohorts=3, trace=trace
+        )
+        started = time.perf_counter()
+        run_kv_batch(rt, driver, spec, txns, read_fraction=0.5, concurrency=4)
+        rt.quiesce()
+        elapsed = time.perf_counter() - started
+        return rt, rt.sim.events_processed / max(elapsed, 1e-9)
+
+    from repro.config import TraceConfig
+
+    rt_off, rate_off = one(None)
+    rt_ring, rate_ring = one(TraceConfig(monitors="all"))
+    export_dir = tempfile.mkdtemp(prefix="repro-trace-perf-")
+    export_path = os.path.join(export_dir, "trace.jsonl")
+    rt_export, rate_export = one(
+        TraceConfig(monitors="all", export_path=export_path)
+    )
+    rt_export.tracer.maybe_export()
+    # Tracing is pure observation: all three modes must schedule and
+    # decide identically or the overhead comparison is meaningless.
+    digests = {_digest(rt_off), _digest(rt_ring), _digest(rt_export)}
+    if len(digests) != 1:
+        raise AssertionError(
+            f"trace_overhead: modes diverged ({sorted(d[:12] for d in digests)})"
+        )
+    rt_off.perf_extra = {
+        "events_per_sec_disabled": round(rate_off, 1),
+        "events_per_sec_ring": round(rate_ring, 1),
+        "events_per_sec_export": round(rate_export, 1),
+        "ring_overhead_pct": round(100.0 * (1.0 - rate_ring / rate_off), 2),
+        "export_overhead_pct": round(100.0 * (1.0 - rate_export / rate_off), 2),
+        "trace_events": rt_ring.tracer.events_emitted,
+    }
+    return rt_off
+
+
 def _chaos_soak(quick: bool):
     duration = 4_000.0 if quick else 12_000.0
     captured = {}
@@ -123,6 +176,7 @@ SCENARIOS: List[Scenario] = [
     Scenario("e13_end_to_end", 1313, "call_latency:kv", _e13_end_to_end),
     Scenario("lossy_view_change_storm", 1601, "call_latency:kv", _lossy_storm),
     Scenario("chaos_soak", 2026, "call_latency:kv", _chaos_soak),
+    Scenario("trace_overhead", 4242, "call_latency:kv", _trace_overhead),
 ]
 
 
@@ -174,7 +228,7 @@ def run_scenario(
         wall_seconds=wall_seconds,
         peak_heap_bytes=peak_heap_bytes,
         latency_key=scenario.latency_key,
-        extra={"quick": quick},
+        extra={"quick": quick, **getattr(runtime, "perf_extra", {})},
     )
     traced_digest = _digest(traced_runtime)
     if traced_digest != report.ledger_digest:

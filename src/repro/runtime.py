@@ -30,7 +30,7 @@ from typing import Dict, List, Optional
 
 from repro.analysis.ledger import TransactionLedger
 from repro.analysis.metrics import Metrics
-from repro.config import ProtocolConfig
+from repro.config import ProtocolConfig, TraceConfig
 from repro.core.group import ModuleGroup
 from repro.driver import Driver
 from repro.faults.controller import FaultController
@@ -50,6 +50,7 @@ class Runtime:
         link: LinkModel = LAN,
         config: Optional[ProtocolConfig] = None,
         max_events: int = 5_000_000,
+        trace: Optional[TraceConfig] = None,
     ):
         self.sim = Simulator(seed=seed, max_events=max_events)
         self.metrics = Metrics()
@@ -60,6 +61,16 @@ class Runtime:
         self.nodes: Dict[str, Node] = {}
         self.groups: Dict[str, ModuleGroup] = {}
         self.drivers: List[Driver] = []
+        self.tracer = None
+        if trace is not None and trace.enabled:
+            # Wired before any group exists so no send/activation is missed.
+            from repro.trace import Tracer, build_monitors
+
+            self.tracer = Tracer(self.sim, trace)
+            self.tracer.install_monitors(build_monitors(trace.monitors))
+            self.sim.tracer = self.tracer
+            self.network.tracer = self.tracer
+            self.sim.add_trace_hook(self.tracer.on_sim_trace)
         self.faults = FaultController(self)
 
     # -- factories ------------------------------------------------------------

@@ -121,6 +121,11 @@ class Simulator:
         self._peak_heap = 0
         self._wall_seconds = 0.0
         self._trace_hooks: list[Callable[[float, str, dict], None]] = []
+        # Attachment point for repro.trace: None keeps every instrumented
+        # call site (Node.set_timer, Network.send/_deliver) on its fast
+        # path -- one attribute load and an ``is None`` test.  The kernel
+        # loop itself never consults it.
+        self.tracer = None
 
     # -- clock ------------------------------------------------------------
 

@@ -84,10 +84,31 @@ class Node:
     def set_timer(self, delay: float, callback: Callable, *args: Any) -> Timer:
         """Schedule a callback that is silently dropped if the node crashes."""
         incarnation = self.incarnation
+        tracer = self.sim.tracer
 
-        def guarded() -> None:
-            if self.up and self.incarnation == incarnation:
-                callback(*args)
+        if tracer is None:
+
+            def guarded() -> None:
+                if self.up and self.incarnation == incarnation:
+                    callback(*args)
+
+        else:
+            # Causality through timers: the fire inherits the event context
+            # in which the timer was armed (a delivery, another fire, ...).
+            armed_in = tracer.current()
+            parents = (armed_in,) if armed_in is not None else ()
+
+            def guarded() -> None:
+                if self.up and self.incarnation == incarnation:
+                    eid = tracer.emit(
+                        "timer_fire", node=self.node_id, parents=parents,
+                        delay=delay,
+                    )
+                    tracer.push(eid)
+                    try:
+                        callback(*args)
+                    finally:
+                        tracer.pop()
 
         timer = self.sim.schedule(delay, guarded)
         self._timers.append(timer)

@@ -1,0 +1,33 @@
+"""repro.trace: causal tracing + online protocol-invariant checking.
+
+Enable by passing a :class:`~repro.config.TraceConfig` to
+:class:`~repro.Runtime`::
+
+    from repro import Runtime, TraceConfig
+
+    rt = Runtime(seed=1, trace=TraceConfig())   # monitors on, 64k ring
+    ...
+    rt.tracer.export_jsonl("run.jsonl")
+
+See docs/TRACING.md for the event schema, the monitor catalog, and
+``python -m repro.trace`` CLI examples.
+"""
+
+from repro.trace.events import EVENT_KINDS, TraceEvent
+from repro.trace.monitors import (
+    MONITORS,
+    InvariantMonitor,
+    InvariantViolation,
+    build_monitors,
+)
+from repro.trace.tracer import Tracer
+
+__all__ = [
+    "EVENT_KINDS",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "MONITORS",
+    "TraceEvent",
+    "Tracer",
+    "build_monitors",
+]

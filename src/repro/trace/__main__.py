@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.trace``."""
+
+import sys
+
+from repro.trace.cli import main
+
+sys.exit(main())

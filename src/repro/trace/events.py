@@ -1,0 +1,132 @@
+"""Trace events: Lamport-stamped, causally-linked structured records.
+
+One :class:`TraceEvent` is emitted per interesting happening (a message
+send, a timer firing, a record entering the buffer, a commit point...).
+Events carry:
+
+- ``eid``: a process-wide sequence number, assigned in emission order --
+  with a deterministic simulator it is itself deterministic;
+- ``at``: the virtual time of the event;
+- ``lamport``: a Lamport clock per attributed node, advanced past every
+  causal parent, so a topological sort of the causal graph is recoverable
+  from the export alone;
+- ``parents``: eids of the events that *happened-before* this one (the
+  send for a delivery, the enclosing delivery for a protocol action, the
+  timer arming context for a fire).
+
+Serialization is strictly deterministic: sorted keys, compact separators,
+and a ``str()`` fallback for protocol objects (viewstamps, aids) whose
+``__str__`` is already stable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, Optional, Tuple
+
+#: Catalog of event kinds the instrumentation can emit.  ``python -m
+#: repro.trace check-docs`` asserts each name is documented in
+#: docs/TRACING.md, so adding a kind here without documenting it fails CI.
+EVENT_KINDS: Dict[str, str] = {
+    # network plane (net/network.py)
+    "msg_send": "a message was handed to the network",
+    "msg_deliver": "a message reached its destination actor",
+    "msg_drop": "the network dropped a message (crash/partition/loss)",
+    # kernel / node (sim/node.py, repro.faults)
+    "timer_fire": "a node-scoped timer callback ran",
+    "node_crash": "a node fail-stopped",
+    "node_recover": "a crashed node came back up",
+    "partition": "the network split into blocks",
+    "heal": "partitions and failed links were repaired",
+    "fault": "a FaultController action executed",
+    # replication core (core/cohort.py, core/view_change.py)
+    "record_added": "an event record entered a cohort's history",
+    "primary_activated": "a cohort became the active primary of a view",
+    "newview_installed": "an underling installed a newview record",
+    "view_manager": "a cohort became view manager and sent invites",
+    "invite_accepted": "a cohort accepted an invitation (underling)",
+    "view_formed": "a manager's formation rule produced a view",
+    "view_started": "the new primary completed start_view",
+    # remote calls (core/calls.py)
+    "call_start": "a remote call was issued",
+    "call_reply": "a remote call's reply arrived",
+    "call_failed": "a remote call failed (no reply / rejected)",
+    # transactions (core/client_role.py, driver.py)
+    "txn_submit": "a driver submitted a transaction request",
+    "txn_outcome": "a driver learned (or gave up on) an outcome",
+    "txn_begin": "the client primary started a transaction program",
+    "txn_prepare": "2PC phase one began (prepares sent)",
+    "commit_point": "the committing record became majority-known",
+    "txn_abort": "the coordinator aborted a transaction",
+    # participant side of 2PC (core/server_role.py)
+    "prepare_decision": "a participant accepted or refused a prepare",
+    "commit_applied": "a participant added and forced a committed record",
+    "abort_applied": "a participant discarded a transaction locally",
+}
+
+
+def _plain(value: Any) -> Any:
+    """JSON-safe, deterministic projection of an event-data value."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = list(value)
+        if isinstance(value, (set, frozenset)):
+            items = sorted(items, key=str)
+        return [_plain(item) for item in items]
+    if isinstance(value, dict):
+        return {str(key): _plain(item) for key, item in value.items()}
+    return str(value)
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One structured event in the causal record of a run."""
+
+    eid: int
+    at: float
+    lamport: int
+    node: Optional[str]
+    kind: str
+    data: Dict[str, Any]
+    parents: Tuple[int, ...]
+
+    def to_json_dict(self) -> dict:
+        return {
+            "eid": self.eid,
+            "at": self.at,
+            "lamport": self.lamport,
+            "node": self.node,
+            "kind": self.kind,
+            "parents": list(self.parents),
+            "data": _plain(self.data),
+        }
+
+    def to_json_line(self) -> str:
+        return json.dumps(
+            self.to_json_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    @classmethod
+    def from_json_dict(cls, doc: dict) -> "TraceEvent":
+        return cls(
+            eid=doc["eid"],
+            at=doc["at"],
+            lamport=doc["lamport"],
+            node=doc.get("node"),
+            kind=doc["kind"],
+            data=doc.get("data", {}),
+            parents=tuple(doc.get("parents", ())),
+        )
+
+    def render(self) -> str:
+        """One human-readable line (used by the CLI and violation reports)."""
+        fields = " ".join(
+            f"{key}={_plain(value)!r}" for key, value in sorted(self.data.items())
+        )
+        where = self.node if self.node is not None else "-"
+        return (
+            f"#{self.eid} t={self.at:.3f} L{self.lamport} "
+            f"{where} {self.kind} {fields}".rstrip()
+        )

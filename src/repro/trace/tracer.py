@@ -1,0 +1,245 @@
+"""The Tracer: ring-buffered causal event sink owned by a Runtime.
+
+Design constraints (see docs/TRACING.md):
+
+- **Zero-cost when disabled.**  Instrumented hot paths hold a ``tracer``
+  attribute that is ``None`` unless tracing was requested at Runtime
+  construction; the disabled path pays one attribute load and an ``is
+  None`` test.  Nothing here is consulted by the kernel loop itself.
+- **Pure observation.**  The tracer draws no randomness and schedules no
+  events, so enabling it cannot change what a seeded run computes --
+  ledger digests with and without tracing are asserted identical by the
+  ``trace_overhead`` perf scenario and tests/trace.
+- **Deterministic.**  Event ids, Lamport stamps, and ring eviction depend
+  only on emission order, which the simulator makes deterministic.
+
+Causality is tracked two ways:
+
+- a *context stack*: while a delivery or timer callback runs, its event id
+  sits on the stack and becomes an implicit parent of everything emitted
+  inside it (protocol actions, nested sends);
+- explicit parents: a delivery names its send, a timer fire names the
+  event context in which it was armed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.trace.events import TraceEvent
+
+#: Cap on the msg_id -> send-eid map.  In-flight messages are short-lived
+#: (delays are bounded), so entries this old are long settled; pruning the
+#: oldest half by insertion order (= msg_id order) is deterministic.
+_MSG_MAP_LIMIT = 131_072
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records into a bounded ring."""
+
+    def __init__(self, sim, config):
+        self.sim = sim
+        self.config = config
+        self.ring_size = max(1, int(config.ring_size))
+        self._ring: deque = deque()
+        self._index: Dict[int, TraceEvent] = {}
+        self._next_eid = 0
+        self._clocks: Dict[str, int] = {}
+        self._context: List[int] = []
+        self._msg_sends: Dict[int, int] = {}
+        self._monitors: list = []
+        self.events_emitted = 0
+        self.events_evicted = 0
+
+    # -- monitors ---------------------------------------------------------
+
+    def install_monitors(self, monitors) -> None:
+        """Attach monitor instances; each sees every event as it is emitted."""
+        self._monitors.extend(monitors)
+
+    @property
+    def monitors(self) -> tuple:
+        return tuple(self._monitors)
+
+    # -- emission ---------------------------------------------------------
+
+    def emit(
+        self,
+        kind: str,
+        node: Optional[str] = None,
+        parents: Tuple[int, ...] = (),
+        **data: Any,
+    ) -> int:
+        return self._emit(kind, node, parents, data)
+
+    def _emit(
+        self,
+        kind: str,
+        node: Optional[str],
+        parents: Tuple[int, ...],
+        data: Dict[str, Any],
+    ) -> int:
+        self._next_eid += 1
+        eid = self._next_eid
+        context = self._context
+        if context:
+            top = context[-1]
+            if top not in parents:
+                parents = parents + (top,)
+        clock_key = node if node is not None else ""
+        lamport = self._clocks.get(clock_key, 0)
+        index = self._index
+        for parent_id in parents:
+            parent = index.get(parent_id)
+            if parent is not None and parent.lamport > lamport:
+                lamport = parent.lamport
+        lamport += 1
+        self._clocks[clock_key] = lamport
+        event = TraceEvent(
+            eid=eid,
+            at=self.sim.now,
+            lamport=lamport,
+            node=node,
+            kind=kind,
+            data=data,
+            parents=parents,
+        )
+        self._ring.append(event)
+        index[eid] = event
+        if len(self._ring) > self.ring_size:
+            evicted = self._ring.popleft()
+            del index[evicted.eid]
+            self.events_evicted += 1
+        self.events_emitted += 1
+        for monitor in self._monitors:
+            monitor.on_event(event, self)
+        return eid
+
+    # -- causal context ---------------------------------------------------
+
+    def push(self, eid: int) -> None:
+        self._context.append(eid)
+
+    def pop(self) -> None:
+        self._context.pop()
+
+    def current(self) -> Optional[int]:
+        return self._context[-1] if self._context else None
+
+    # -- network hooks (called by Network when tracer is not None) --------
+
+    def on_send(self, envelope) -> int:
+        eid = self._emit(
+            "msg_send",
+            envelope.source,
+            (),
+            {
+                "msg_id": envelope.msg_id,
+                "src": envelope.source,
+                "dst": envelope.destination,
+                "type": envelope.payload.msg_type,
+            },
+        )
+        sends = self._msg_sends
+        sends[envelope.msg_id] = eid
+        if len(sends) > _MSG_MAP_LIMIT:
+            for key in list(sends)[: _MSG_MAP_LIMIT // 2]:
+                del sends[key]
+        return eid
+
+    def on_drop(self, envelope, reason: str, node: Optional[str]) -> int:
+        send_eid = self._msg_sends.get(envelope.msg_id)
+        parents = (send_eid,) if send_eid is not None else ()
+        return self._emit(
+            "msg_drop",
+            node,
+            parents,
+            {
+                "msg_id": envelope.msg_id,
+                "src": envelope.source,
+                "dst": envelope.destination,
+                "type": envelope.payload.msg_type,
+                "reason": reason,
+            },
+        )
+
+    def on_deliver(self, envelope) -> int:
+        send_eid = self._msg_sends.get(envelope.msg_id)
+        parents = (send_eid,) if send_eid is not None else ()
+        return self._emit(
+            "msg_deliver",
+            envelope.destination,
+            parents,
+            {
+                "msg_id": envelope.msg_id,
+                "src": envelope.source,
+                "dst": envelope.destination,
+                "type": envelope.payload.msg_type,
+                "sent": send_eid is not None,
+            },
+        )
+
+    # -- Simulator.trace adapter ------------------------------------------
+
+    def on_sim_trace(self, at: float, kind: str, data: dict) -> None:
+        """Bridge for the kernel's lightweight ``sim.trace`` hook (crashes,
+        recoveries, partitions, fault-controller actions)."""
+        self._emit(kind, data.get("node"), (), dict(data))
+
+    # -- inspection & export ----------------------------------------------
+
+    def events(self) -> List[TraceEvent]:
+        """Ring contents, oldest first."""
+        return list(self._ring)
+
+    def get(self, eid: int) -> Optional[TraceEvent]:
+        return self._index.get(eid)
+
+    def causal_slice(self, eid: int, limit: int = 50) -> List[TraceEvent]:
+        """The minimal explanation of *eid*: a breadth-first walk of its
+        causal ancestry (still in the ring), at most *limit* events,
+        returned in eid order."""
+        frontier = deque([eid])
+        seen = set()
+        collected: List[TraceEvent] = []
+        while frontier and len(collected) < limit:
+            current = frontier.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            event = self._index.get(current)
+            if event is None:
+                continue  # evicted from the ring
+            collected.append(event)
+            frontier.extend(event.parents)
+        return sorted(collected, key=lambda event: event.eid)
+
+    def export_jsonl(self, path: str) -> None:
+        from repro.trace.export import write_jsonl
+
+        write_jsonl(self.events(), path)
+
+    def export_chrome(self, path: str) -> None:
+        from repro.trace.export import write_chrome
+
+        write_chrome(self.events(), path)
+
+    def maybe_export(self) -> Optional[str]:
+        """Honour ``TraceConfig.export_path``: ``.json`` means Chrome
+        ``trace_event`` format, anything else JSONL.  Returns the path
+        written, or None."""
+        path = self.config.export_path
+        if not path:
+            return None
+        if path.endswith(".json"):
+            self.export_chrome(path)
+        else:
+            self.export_jsonl(path)
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Tracer(emitted={self.events_emitted}, ring={len(self._ring)}/"
+            f"{self.ring_size}, monitors={len(self._monitors)})"
+        )

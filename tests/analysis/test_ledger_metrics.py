@@ -73,6 +73,35 @@ def test_ledger_clock_stamps_commits():
     assert ledger.committed["t1"] == 17.5
 
 
+def test_ledger_rejects_negative_timestamps():
+    ledger = TransactionLedger()
+    with pytest.raises(ValueError, match="negative"):
+        ledger.record_fault("crash", "n1", at=-1.0)
+    with pytest.raises(ValueError, match="negative"):
+        ledger.record_detector_event("suspect", "kv", 0, 1, at=-0.5)
+
+
+def test_ledger_rejects_time_regression_per_stream():
+    ledger = TransactionLedger()
+    ledger.record_fault("crash", "n1", at=10.0)
+    ledger.record_fault("recover", "n1", at=10.0)  # equal times are fine
+    with pytest.raises(ValueError, match="before the stream"):
+        ledger.record_fault("crash", "n2", at=9.0)
+    ledger.record_detector_event("suspect", "kv", 0, 1, at=20.0)
+    with pytest.raises(ValueError):
+        ledger.record_detector_event("trust", "kv", 0, 1, at=19.0)
+
+
+def test_ledger_timestamp_streams_are_independent():
+    # a "late" entry on one stream must not poison the others
+    ledger = TransactionLedger()
+    ledger.record_fault("crash", "n1", at=100.0)
+    ledger.record_detector_event("suspect", "kv", 0, 1, at=5.0)
+    ledger.record_view_change_started("kv", at=1.0)
+    assert ledger.faults[0].at == 100.0
+    assert ledger.detector_events[0].at == 5.0
+
+
 # -- metrics --------------------------------------------------------------------
 
 

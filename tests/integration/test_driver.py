@@ -81,6 +81,31 @@ def test_driver_crash_resolves_pending_to_unknown(counter_system):
     rt.run_for(2000)  # stale timers must not fire into the cleared table
 
 
+def test_driver_timeout_exhaustion_cancels_timer(counter_system):
+    """When the retry budget runs out, the request resolves to "unknown"
+    AND its per-attempt timer is cancelled and dropped -- a resolved
+    request must not pin a live heap entry on the lazy-cancel path."""
+    rt, _counter, clients, driver = counter_system
+    for mid in range(3):
+        clients.crash_cohort(mid)
+    future = driver.submit("clients", "bump", 1, retries=1, timeout=50.0)
+    (request,) = driver._requests.values()
+    rt.run_for(5000)
+    assert future.result() == ("unknown", None)
+    assert request.timer is None  # cancelled and nulled, not just expired
+    assert not driver._requests
+
+
+def test_driver_crash_nulls_pending_timers(counter_system):
+    rt, _counter, _clients, driver = counter_system
+    driver.submit("clients", "bump", 1, timeout=500.0)
+    (request,) = driver._requests.values()
+    assert request.timer is not None
+    rt.faults.crash(driver.node.node_id)
+    assert request.timer is None
+    assert request.future.result() == ("unknown", None)
+
+
 def test_driver_submit_rejects_non_positive_timeout(counter_system):
     _rt, _counter, _clients, driver = counter_system
     with pytest.raises(ValueError):

@@ -1,0 +1,86 @@
+"""Trace determinism: tracing is pure observation of a seeded run.
+
+Three pins:
+
+- same seed => byte-identical JSONL export across two runs;
+- the export is also identical across kernel ``compact_threshold``
+  settings (the lazy-cancel compaction must not reorder what the
+  tracer observes);
+- enabling tracing does not change what the run computes (ledger
+  digests with and without tracing agree).
+"""
+
+import os
+
+from repro.config import TraceConfig
+from repro.harness.common import build_kv_system, run_kv_batch
+from repro.perf.report import ledger_digest
+
+
+def _traced_run(tmp_path, tag, seed=77, compact_threshold=None, trace=True):
+    config = (
+        TraceConfig(monitors="all", export_path=str(tmp_path / f"{tag}.jsonl"))
+        if trace
+        else None
+    )
+    rt, _kv, _clients, driver, spec = build_kv_system(
+        seed=seed, n_cohorts=3, trace=config
+    )
+    if compact_threshold is not None:
+        rt.sim.compact_threshold = compact_threshold
+    run_kv_batch(rt, driver, spec, 60, read_fraction=0.5, concurrency=2)
+    rt.quiesce()
+    if rt.tracer is not None:
+        rt.tracer.maybe_export()
+    return rt
+
+
+def _export_bytes(tmp_path, tag):
+    with open(tmp_path / f"{tag}.jsonl", "rb") as handle:
+        return handle.read()
+
+
+def test_same_seed_byte_identical_jsonl(tmp_path):
+    _traced_run(tmp_path, "a")
+    _traced_run(tmp_path, "b")
+    first = _export_bytes(tmp_path, "a")
+    assert first == _export_bytes(tmp_path, "b")
+    assert len(first) > 0
+
+
+def test_jsonl_identical_across_compact_threshold(tmp_path):
+    # threshold 0 never compacts (pre-optimization lazy-cancel ordering);
+    # threshold 1 compacts as aggressively as possible.  The trace must
+    # not be able to tell them apart.
+    eager = _traced_run(tmp_path, "eager", compact_threshold=1)
+    lazy = _traced_run(tmp_path, "lazy", compact_threshold=0)
+    assert eager.sim.heap_compactions > 0
+    assert lazy.sim.heap_compactions == 0
+    assert _export_bytes(tmp_path, "eager") == _export_bytes(tmp_path, "lazy")
+
+
+def test_tracing_does_not_perturb_the_run(tmp_path):
+    traced = _traced_run(tmp_path, "traced")
+    untraced = _traced_run(tmp_path, "untraced", trace=False)
+    assert untraced.tracer is None
+    assert ledger_digest(traced) == ledger_digest(untraced)
+    assert traced.sim.events_processed == untraced.sim.events_processed
+
+
+def test_different_seed_different_trace(tmp_path):
+    _traced_run(tmp_path, "s77", seed=77)
+    _traced_run(tmp_path, "s78", seed=78)
+    assert _export_bytes(tmp_path, "s77") != _export_bytes(tmp_path, "s78")
+
+
+def test_export_is_valid_jsonl(tmp_path):
+    from repro.trace.export import read_jsonl
+
+    rt = _traced_run(tmp_path, "valid")
+    events = read_jsonl(os.fspath(tmp_path / "valid.jsonl"))
+    assert len(events) == len(rt.tracer.events())
+    eids = [event.eid for event in events]
+    assert eids == sorted(eids)
+    # round-trip: parsing the export reproduces each event's JSON line
+    for parsed, original in zip(events, rt.tracer.events()):
+        assert parsed.to_json_line() == original.to_json_line()
