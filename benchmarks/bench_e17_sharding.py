@@ -1,0 +1,13 @@
+"""Experiment E17: scale-out by sharding over many replica groups.
+
+Regenerates the E17 table of EXPERIMENTS.md.
+"""
+
+from repro.harness import e17_sharding
+
+from helpers import run_experiment
+
+
+def test_e17_sharding(benchmark):
+    result = run_experiment(benchmark, e17_sharding)
+    assert result.rows, "experiment produced no rows"

@@ -49,6 +49,7 @@ from repro.driver import Driver
 from repro.faults import FaultController, FaultPlan, Nemesis
 from repro.net.link import LAN, LOSSY, WAN, LinkModel
 from repro.runtime import Runtime
+from repro.shard import ShardedGroup, ShardMap
 from repro.storage.stable import StableStoragePolicy
 
 __version__ = "1.0.0"
@@ -68,6 +69,8 @@ __all__ = [
     "Nemesis",
     "ProtocolConfig",
     "Runtime",
+    "ShardMap",
+    "ShardedGroup",
     "StableStoragePolicy",
     "TraceConfig",
     "View",

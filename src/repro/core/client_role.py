@@ -29,7 +29,6 @@ from typing import Any, Dict, Optional, Set, Tuple
 from repro.core import messages as m
 from repro.core.calls import CallAborted
 from repro.core.events import Aborted, Committing, Done
-from repro.location.service import primary_address_in
 from repro.sim.errors import CancelledError
 from repro.sim.future import Future
 from repro.txn.ids import Aid, CallId
@@ -158,7 +157,7 @@ class ClientRole:
         self._created.add(aid)
         # The client's calls populated no cache entries here; warm them so
         # prepares can be addressed.
-        for groupid in txn.pset.participants():
+        for groupid in sorted(txn.pset.participants()):
             if cohort.cache.get(groupid) is None:
                 for _mid, address in cohort.locate(groupid):
                     cohort.send(address, m.ViewProbeMsg(reply_to=cohort.address))
@@ -342,7 +341,7 @@ class ClientRole:
             state.future.set_result(("committed", state.result))
             return
         state.prepare_ok = {}
-        self._send_prepares(state, participants)
+        self._send_prepares(state, sorted(participants))
         # Adaptive mode probes missing participants at an RTT-derived pace,
         # but the abort decision keeps the fixed configuration's total
         # patience (_MAX_PREPARE_ROUNDS * prepare_timeout).
@@ -356,10 +355,22 @@ class ClientRole:
     def _send_prepares(self, state: _RunningTxn, groupids) -> None:
         cohort = self.cohort
         txn = state.txn
+        cross_group = len(txn.pset.participants()) > 1
         for groupid in groupids:
             entry = cohort.cache.get(groupid)
             if entry is None:
                 continue  # retry loop will re-probe
+            if cohort.tracer is not None and cross_group:
+                # Per-participant phase-one visibility for sharded /
+                # multi-group transactions: one event per prepare actually
+                # put on the wire (retransmissions emit again).
+                cohort.tracer.emit(
+                    "shard_prepare",
+                    node=cohort.node.node_id,
+                    group=cohort.mygroupid,
+                    aid=str(txn.aid),
+                    participant=groupid,
+                )
             cohort.send(
                 entry.primary_address,
                 m.PrepareMsg(
@@ -387,9 +398,9 @@ class ClientRole:
             # "If a more recent view cannot be discovered... abort."
             self._abort_txn(state, reason="participants unreachable at prepare")
             return
-        missing = [
+        missing = sorted(
             g for g in txn.pset.participants() if g not in state.prepare_ok
-        ]
+        )
         for groupid in missing:
             # Probe for fresher view information (the cache only moves
             # forward, so re-sending to the current entry stays correct).
@@ -462,6 +473,15 @@ class ClientRole:
                 acked={str(k): v for k, v in cohort.buffer.acked.items()},
                 config_size=cohort.config_size,
             )
+        if cohort.tracer is not None and len(txn.pset.participants()) > 1:
+            cohort.tracer.emit(
+                "shard_commit",
+                node=cohort.node.node_id,
+                group=cohort.mygroupid,
+                aid=str(txn.aid),
+                participants=sorted(txn.pset.participants()),
+                plist=sorted(plist),
+            )
         cohort.outcomes[txn.aid] = "committed"
         cohort.runtime.ledger.record_commit(txn.aid)
         cohort.metrics.incr(f"txns_committed:{cohort.mygroupid}")
@@ -500,7 +520,7 @@ class ClientRole:
         state = self._txns.get(aid)
         if state is None or not cohort.is_active_primary:
             return
-        for groupid in state.commit_waiting:
+        for groupid in sorted(state.commit_waiting):
             for _mid, address in cohort.locate(groupid):
                 cohort.send(address, m.ViewProbeMsg(reply_to=cohort.address))
         self._send_commits(aid, sorted(state.commit_waiting), pset_pairs)
@@ -568,11 +588,22 @@ class ClientRole:
         self._cancel_timers(state)
         self._txns.pop(txn.aid, None)
         if cohort.is_active_primary:
-            for groupid in txn.pset.participants():
+            participants = txn.pset.participants()
+            if cohort.mygroupid in participants:
+                # We coordinate a transaction on our own group (a sharded
+                # group's single-key path).  Abort locally and synchronously:
+                # a self-addressed AbortMsg would arrive after the Aborted
+                # record below sets the outcome, be ignored, and leak the
+                # write locks this group holds for the transaction.
+                cohort.server_role.on_abort(m.AbortMsg(aid=txn.aid))
+            for groupid in sorted(participants):
+                if groupid == cohort.mygroupid:
+                    continue
                 entry = cohort.cache.get(groupid)
                 if entry is not None:
                     cohort.send(entry.primary_address, m.AbortMsg(aid=txn.aid))
-            cohort.add_record(Aborted(aid=txn.aid))
+            if cohort.outcomes.get(txn.aid) != "aborted":
+                cohort.add_record(Aborted(aid=txn.aid))
         cohort.runtime.ledger.record_abort(txn.aid, reason)
         cohort.metrics.incr(f"txns_aborted:{cohort.mygroupid}")
         if cohort.tracer is not None:
@@ -594,8 +625,11 @@ class ClientRole:
         if state is None:
             return
         if msg.viewid is not None and msg.view is not None and msg.groupid:
-            primary_address = primary_address_in(
-                self.cohort.locate(msg.groupid), msg.view
+            # The groupid arrives in a reply; resolve it through the
+            # tolerant multi-group path (an unknown group yields None and
+            # the retry loop re-probes) instead of a strict lookup.
+            primary_address = self.cohort.runtime.location.primary_address(
+                msg.groupid, msg.view
             )
             self.cohort.cache.update(msg.groupid, msg.viewid, msg.view, primary_address)
             if state.txn.phase == "preparing":

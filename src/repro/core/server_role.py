@@ -164,34 +164,18 @@ class ServerRole:
             else:
                 result = generated
         except (TransactionAborted, CallAborted) as error:
-            self.in_progress.discard(msg.call_id)
-            cohort.lockmgr.cancel_waits(msg.aid)
-            if msg.aid in cohort.pending:
-                # Other calls of this transaction completed here: keep their
-                # locks, drop only the failed attempt's tentative writes.
-                # The coordinator's abort message cleans up the rest.
-                cohort.lockmgr.discard_subaction(msg.aid, msg.call_id.subaction)
-            else:
-                # No other footprint at this group: release everything the
-                # failed call acquired (the coordinator will not send us an
-                # abort -- we are not in its pset).
-                cohort.lockmgr.discard(msg.aid)
-            if cohort.is_active_primary:
-                cohort.send(
-                    msg.reply_to,
-                    m.CallFailedMsg(call_id=msg.call_id, reason=str(error)),
-                )
+            self._fail_call(msg, str(error))
             return
         except CancelledError:
             self.in_progress.discard(msg.call_id)
             return  # view change interrupted us; no reply
-        except KeyError as error:
-            self.in_progress.discard(msg.call_id)
-            if cohort.is_active_primary:
-                cohort.send(
-                    msg.reply_to,
-                    m.CallFailedMsg(call_id=msg.call_id, reason=str(error)),
-                )
+        except Exception as error:
+            # A buggy module procedure (TypeError, KeyError, ...) must not
+            # wedge the group: without this, the call process dies holding
+            # its locks and never replies, so the coordinator times out
+            # while every later transaction on those objects queues behind
+            # a dead lock.  Fail the call like an abort instead.
+            self._fail_call(msg, f"{type(error).__name__}: {error}")
             return
         self.in_progress.discard(msg.call_id)
         if not cohort.is_active_primary:
@@ -225,6 +209,27 @@ class ServerRole:
                 del self.executed[old_id]
         cohort.send(msg.reply_to, reply)
         cohort.metrics.incr(f"calls_completed:{cohort.mygroupid}")
+
+    def _fail_call(self, msg: m.CallMsg, reason: str) -> None:
+        """Release a failed call's footprint and tell the caller."""
+        cohort = self.cohort
+        self.in_progress.discard(msg.call_id)
+        cohort.lockmgr.cancel_waits(msg.aid)
+        if msg.aid in cohort.pending:
+            # Other calls of this transaction completed here: keep their
+            # locks, drop only the failed attempt's tentative writes.
+            # The coordinator's abort message cleans up the rest.
+            cohort.lockmgr.discard_subaction(msg.aid, msg.call_id.subaction)
+        else:
+            # No other footprint at this group: release everything the
+            # failed call acquired (the coordinator will not send us an
+            # abort -- we are not in its pset).
+            cohort.lockmgr.discard(msg.aid)
+        if cohort.is_active_primary:
+            cohort.send(
+                msg.reply_to,
+                m.CallFailedMsg(call_id=msg.call_id, reason=reason),
+            )
 
     # ------------------------------------------------------------------
     # prepare (Figure 3: "processing a prepare message")
@@ -379,7 +384,17 @@ class ServerRole:
 
     def _perform_commit(self, aid: Aid, pset_pairs, ack_to: Optional[str]) -> None:
         cohort = self.cohort
-        if cohort.outcomes.get(aid) == "committed":
+        already_installed = (
+            cohort.outcomes.get(aid) == "committed"
+            and aid not in self.prepared
+            and aid not in cohort.pending
+        )
+        if already_installed:
+            # A known outcome alone is not enough to skip the install: when
+            # this group coordinates a transaction on itself (a sharded
+            # group's single-key path), the client role records "committed"
+            # before our own CommitMsg arrives, while write locks are still
+            # held and pending/prepared still name the aid.
             if ack_to is not None:
                 cohort.send(ack_to, m.CommitAckMsg(aid=aid, groupid=cohort.mygroupid))
             return

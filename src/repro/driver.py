@@ -113,6 +113,31 @@ class Driver(Actor):
         self._send(request)
         return request.future
 
+    def submit_keyed(
+        self,
+        sharded,
+        program: str,
+        *args: Any,
+        retries: int = 8,
+        timeout: Optional[float] = None,
+    ) -> Future:
+        """Key-addressed submit through a sharded façade.
+
+        *sharded* is a :class:`~repro.shard.facade.ShardedGroup` (or its
+        name, resolved via the runtime).  The façade's shard map routes
+        single-key programs to the owning shard group's primary and
+        multi-key programs to the cross-shard router group; from there the
+        request is an ordinary :meth:`submit`.
+        """
+        if isinstance(sharded, str):
+            sharded = self.runtime.sharded[sharded]
+        groupid, routed_program, routed_args = sharded.route(
+            program, tuple(args), origin=self
+        )
+        return self.submit(
+            groupid, routed_program, *routed_args, retries=retries, timeout=timeout
+        )
+
     # -- transmission ----------------------------------------------------------
 
     def _send(self, request: _PendingRequest) -> None:

@@ -147,6 +147,16 @@ class _Cursor:
     ) -> "_Cursor":
         return self._add(CrashPrimary(groupid, recover_after))
 
+    def crash_shard_primary(
+        self, sharded, shard: int, recover_after: Optional[float] = None
+    ) -> "_Cursor":
+        """Crash one shard (by index) of a sharded group (façade or name)."""
+        from repro.shard.facade import resolve_shard_groupid
+
+        return self._add(
+            CrashPrimary(resolve_shard_groupid(sharded, shard), recover_after)
+        )
+
     def partition(self, *blocks: Iterable[str]) -> "_Cursor":
         if not blocks:
             raise ValueError("partition() needs at least one block of node ids")

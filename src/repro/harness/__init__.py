@@ -27,6 +27,7 @@ from repro.harness.experiments_extensions import (
 )
 from repro.harness.experiments_ablations import e15_ablations
 from repro.harness.experiments_robustness import e16_liveness
+from repro.harness.experiments_scale import e17_sharding
 
 ALL_EXPERIMENTS = {
     "E1": e01_call_overhead,
@@ -44,6 +45,7 @@ ALL_EXPERIMENTS = {
     "E13": e13_end_to_end,
     "E15": e15_ablations,
     "E16": e16_liveness,
+    "E17": e17_sharding,
 }
 
 __all__ = [
@@ -65,4 +67,5 @@ __all__ = [
     "e13_end_to_end",
     "e15_ablations",
     "e16_liveness",
+    "e17_sharding",
 ]

@@ -17,12 +17,15 @@ Exits non-zero on any violation, so CI can run it as a smoke job::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro import Nemesis
 from repro.config import TraceConfig
 from repro.harness.common import build_kv_system
 from repro.sim.process import sleep, spawn
+from repro.trace.export import write_jsonl
+from repro.trace.monitors import InvariantViolation
 
 
 def run_soak(seed: int = 2026, duration: float = 15_000.0,
@@ -107,6 +110,32 @@ def run_soak(seed: int = 2026, duration: float = 15_000.0,
     return stats
 
 
+def export_failure_artifacts(runtime, failure, artifact_dir: str,
+                             seed: int) -> list:
+    """Preserve what a CI failure needs to be diagnosed offline: the
+    rendered failure, the full trace ring as JSONL, and -- for an
+    :class:`InvariantViolation` -- the causal slice that explains the
+    offending event.  Returns the paths written."""
+    os.makedirs(artifact_dir, exist_ok=True)
+    written = []
+    report_path = os.path.join(artifact_dir, f"failure-seed{seed}.txt")
+    with open(report_path, "w") as fh:
+        fh.write(f"{failure}\n")
+    written.append(report_path)
+    tracer = getattr(runtime, "tracer", None) if runtime is not None else None
+    if tracer is not None:
+        trace_path = os.path.join(artifact_dir, f"trace-seed{seed}.jsonl")
+        tracer.export_jsonl(trace_path)
+        written.append(trace_path)
+    if isinstance(failure, InvariantViolation) and failure.causal_slice:
+        slice_path = os.path.join(
+            artifact_dir, f"causal-slice-seed{seed}.jsonl"
+        )
+        write_jsonl(failure.causal_slice, slice_path)
+        written.append(slice_path)
+    return written
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seed", type=int, default=2026)
@@ -121,6 +150,11 @@ def main(argv=None) -> int:
         help="write the trace to PATH (.json = Chrome format, else JSONL)",
     )
     parser.add_argument("--ring-size", type=int, default=65_536)
+    parser.add_argument(
+        "--artifact-dir", default=None, metavar="DIR",
+        help="on failure, write the failure report, the full trace JSONL, "
+             "and the violation's causal slice here (CI uploads DIR)",
+    )
     args = parser.parse_args(argv)
     trace = None
     if args.monitors != "none":
@@ -133,10 +167,19 @@ def main(argv=None) -> int:
             ring_size=args.ring_size,
             export_path=args.trace_export,
         )
+    captured = {}
     try:
-        run_soak(seed=args.seed, duration=args.duration, trace=trace)
+        run_soak(
+            seed=args.seed, duration=args.duration, trace=trace,
+            on_runtime=lambda rt: captured.setdefault("rt", rt),
+        )
     except AssertionError as failure:
         print(f"SOAK FAILED: {failure}", file=sys.stderr)
+        if args.artifact_dir:
+            for path in export_failure_artifacts(
+                captured.get("rt"), failure, args.artifact_dir, args.seed
+            ):
+                print(f"artifact: {path}", file=sys.stderr)
         return 1
     print("soak passed: serializable history, converged view")
     return 0

@@ -16,7 +16,7 @@ membership lookup is oracular.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Any, Dict, Iterable, Optional, Tuple
 
 
 def primary_address_in(configuration: Iterable[Tuple[int, str]], view) -> Optional[str]:
@@ -30,27 +30,89 @@ def primary_address_in(configuration: Iterable[Tuple[int, str]], view) -> Option
 
 
 class LocationService:
-    """Maps groupids to configurations ((mid, address) pairs)."""
+    """Maps groupids to configurations ((mid, address) pairs).
+
+    Many groups coexist (every shard of a sharded key space is its own
+    group), so the lookup API distinguishes the strict single-group path
+    (:meth:`lookup`, which raises on an unknown groupid -- a caller bug)
+    from the tolerant multi-group paths (:meth:`try_lookup`,
+    :meth:`lookup_many`, :meth:`primary_address`) used by message
+    handlers that key off a groupid carried in a reply.
+
+    The service also publishes versioned :class:`~repro.shard.map.ShardMap`
+    values: a republish must strictly increase the version, so a stale
+    publisher can never roll routing backwards.
+    """
 
     def __init__(self) -> None:
         self._configurations: Dict[str, Tuple[Tuple[int, str], ...]] = {}
+        self._shard_maps: Dict[str, Any] = {}
 
     def register(self, groupid: str, configuration) -> None:
         if groupid in self._configurations:
-            raise ValueError(f"group {groupid!r} already registered")
-        self._configurations[groupid] = tuple(configuration)
+            raise ValueError(
+                f"group {groupid!r} already registered; groupids are "
+                "system-wide unique (pick another name for the new group)"
+            )
+        configuration = tuple(configuration)
+        if not configuration:
+            raise ValueError(f"group {groupid!r} registered an empty configuration")
+        self._configurations[groupid] = configuration
 
     def lookup(self, groupid: str) -> Tuple[Tuple[int, str], ...]:
         if groupid not in self._configurations:
             raise KeyError(f"unknown group {groupid!r}")
         return self._configurations[groupid]
 
+    def try_lookup(self, groupid: str) -> Optional[Tuple[Tuple[int, str], ...]]:
+        """The configuration of *groupid*, or None if it is not registered."""
+        return self._configurations.get(groupid)
+
+    def lookup_many(
+        self, groupids
+    ) -> Dict[str, Tuple[Tuple[int, str], ...]]:
+        """Configurations for every *registered* groupid among *groupids*."""
+        return {
+            groupid: self._configurations[groupid]
+            for groupid in groupids
+            if groupid in self._configurations
+        }
+
     def primary_address(self, groupid: str, view) -> Optional[str]:
-        """The registered address of *view*'s primary, or None if absent."""
-        return primary_address_in(self.lookup(groupid), view)
+        """The registered address of *view*'s primary, or None if the
+        group is unknown or the view names no registered member."""
+        configuration = self.try_lookup(groupid)
+        if configuration is None:
+            return None
+        return primary_address_in(configuration, view)
 
     def groups(self):
         return tuple(self._configurations)
 
     def __contains__(self, groupid: str) -> bool:
         return groupid in self._configurations
+
+    # -- shard maps --------------------------------------------------------
+
+    def publish_shard_map(self, name: str, shard_map) -> None:
+        """Publish (or republish) a versioned shard map under *name*.
+
+        A republish must carry a strictly larger version than the
+        currently published map -- the same monotonicity discipline
+        viewids obey, applied to routing metadata.
+        """
+        current = self._shard_maps.get(name)
+        if current is not None and shard_map.version <= current.version:
+            raise ValueError(
+                f"shard map {name!r} v{shard_map.version} does not supersede "
+                f"published v{current.version}"
+            )
+        self._shard_maps[name] = shard_map
+
+    def shard_map(self, name: str):
+        if name not in self._shard_maps:
+            raise KeyError(f"no shard map published under {name!r}")
+        return self._shard_maps[name]
+
+    def shard_maps(self):
+        return tuple(self._shard_maps)

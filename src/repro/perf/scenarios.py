@@ -1,6 +1,6 @@
 """The fixed, seeded scenario suite behind ``python -m repro.perf``.
 
-Five scenarios spanning the regimes the roadmap cares about:
+Six scenarios spanning the regimes the roadmap cares about:
 
 - ``micro_call_overhead``: the normal-case hot path -- a closed-loop
   read/write mix against a healthy 3-cohort group on a LAN.  This is the
@@ -15,6 +15,9 @@ Five scenarios spanning the regimes the roadmap cares about:
 - ``trace_overhead``: the same micro workload with repro.trace disabled,
   ring-buffered, and fully exported; regression-gates the tracing
   subsystem's "zero cost when disabled" claim.
+- ``sharded_routing``: the E17 shape -- the canonical sharded workload
+  (single-key seq_puts plus cross-shard transfers) over a 4-shard
+  façade; regression-gates the routing layer and cross-group 2PC.
 
 Every scenario is deterministic given its pinned seed; ``quick`` scales the
 workload down for CI without changing its shape.
@@ -31,6 +34,7 @@ from repro import LOSSY, Nemesis
 from repro.harness.common import build_kv_system, kv_jobs, run_kv_batch, drain
 from repro.harness.soak import run_soak
 from repro.perf.report import PerfReport, build_report, ledger_digest as _digest
+from repro.shard.workload import run_sharded_workload
 from repro.sim.process import sleep, spawn
 from repro.workloads.loadgen import run_closed_loop
 
@@ -159,6 +163,15 @@ def _trace_overhead(quick: bool):
     return rt_off
 
 
+def _sharded_routing(quick: bool):
+    txns = 60 if quick else 160
+    rt, _sharded, _stats = run_sharded_workload(
+        seed=1717, n_shards=4, txns=txns, concurrency=8
+    )
+    rt.quiesce()
+    return rt
+
+
 def _chaos_soak(quick: bool):
     duration = 4_000.0 if quick else 12_000.0
     captured = {}
@@ -177,6 +190,7 @@ SCENARIOS: List[Scenario] = [
     Scenario("lossy_view_change_storm", 1601, "call_latency:kv", _lossy_storm),
     Scenario("chaos_soak", 2026, "call_latency:kv", _chaos_soak),
     Scenario("trace_overhead", 4242, "call_latency:kv", _trace_overhead),
+    Scenario("sharded_routing", 1717, "call_latency:kv-s0", _sharded_routing),
 ]
 
 

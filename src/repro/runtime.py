@@ -26,7 +26,10 @@ point of the public API::
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.shard.facade import ShardedGroup
 
 from repro.analysis.ledger import TransactionLedger
 from repro.analysis.metrics import Metrics
@@ -60,6 +63,7 @@ class Runtime:
         self.config = config if config is not None else ProtocolConfig()
         self.nodes: Dict[str, Node] = {}
         self.groups: Dict[str, ModuleGroup] = {}
+        self.sharded: Dict[str, "ShardedGroup"] = {}
         self.drivers: List[Driver] = []
         self.tracer = None
         if trace is not None and trace.enabled:
@@ -106,6 +110,11 @@ class Runtime:
                 f"create_group({groupid!r}): need at least one node, "
                 "got an empty list"
             )
+        if groupid in self.groups:
+            # Fail before any node is created: a duplicate would otherwise
+            # surface as a confusing node-name collision (or, with explicit
+            # nodes, silently shadow the earlier group's runtime entry).
+            raise ValueError(f"group {groupid!r} already exists in this runtime")
         if nodes is None:
             nodes = [
                 self.create_node(f"{groupid}-n{i}") for i in range(n_cohorts)
@@ -113,6 +122,43 @@ class Runtime:
         group = ModuleGroup(self, groupid, spec, nodes, config=config)
         self.groups[groupid] = group
         return group
+
+    def sharded_group(
+        self,
+        name: str,
+        n_shards: int,
+        n_cohorts: int = 3,
+        spec_factory=None,
+        strategy: str = "hash",
+        boundaries: Optional[Sequence[str]] = None,
+        n_keys: int = 16,
+        config: Optional[ProtocolConfig] = None,
+    ) -> "ShardedGroup":
+        """A partitioned key space over *n_shards* replica groups.
+
+        Creates ``{name}-s0 .. {name}-s{n-1}`` shard groups plus a
+        ``{name}-router`` client group for cross-shard transactions, and
+        publishes the versioned :class:`~repro.shard.map.ShardMap` through
+        the location service.  Submit key-addressed work with
+        :meth:`Driver.submit_keyed`.  See docs/SHARDING.md.
+        """
+        from repro.shard.facade import ShardedGroup
+
+        if name in self.sharded:
+            raise ValueError(f"sharded group {name!r} already exists")
+        sharded = ShardedGroup(
+            self,
+            name,
+            n_shards=n_shards,
+            n_cohorts=n_cohorts,
+            spec_factory=spec_factory,
+            strategy=strategy,
+            boundaries=boundaries,
+            n_keys=n_keys,
+            config=config,
+        )
+        self.sharded[name] = sharded
+        return sharded
 
     def create_driver(self, name: str, node: Optional[Node] = None) -> Driver:
         if node is None:

@@ -1,0 +1,107 @@
+"""``python -m repro.shard``: sharding self-checks.
+
+Subcommands::
+
+    determinism [--seed S] [--shards N] [--txns T] [--runs R]
+        Run the same seeded sharded workload R times (default twice) and
+        fail unless every run produces byte-identical overall and
+        per-shard ledger digests.  This is CI's E17 determinism gate: the
+        simulator promises that one seed fixes the entire execution, and
+        sharding (router group, cross-shard 2PC, per-shard psets) must
+        not break that promise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.perf.report import ledger_digest
+from repro.shard.workload import run_sharded_workload
+
+
+def _determinism(args) -> int:
+    runs = []
+    for attempt in range(args.runs):
+        runtime, sharded, stats = run_sharded_workload(
+            seed=args.seed,
+            n_shards=args.shards,
+            txns=args.txns,
+            concurrency=args.concurrency,
+            cross_ratio=args.cross_ratio,
+            duration=args.duration,
+        )
+        overall = ledger_digest(runtime)
+        shards = sharded.ledger_digests()
+        runs.append((overall, shards))
+        print(
+            f"run {attempt + 1}: committed={stats.committed} "
+            f"aborted={stats.aborted} unknown={stats.unknown} "
+            f"overall={overall[:16]}..."
+        )
+        if stats.submitted != args.txns:
+            print(
+                f"determinism: FAIL -- run {attempt + 1} finished only "
+                f"{stats.submitted}/{args.txns} transactions (raise --duration?)",
+                file=sys.stderr,
+            )
+            return 1
+        if stats.committed == 0:
+            print(
+                f"determinism: FAIL -- run {attempt + 1} committed nothing",
+                file=sys.stderr,
+            )
+            return 1
+    reference_overall, reference_shards = runs[0]
+    failed = False
+    for attempt, (overall, shards) in enumerate(runs[1:], start=2):
+        if overall != reference_overall:
+            print(
+                f"determinism: FAIL -- overall digest of run {attempt} "
+                f"differs from run 1:\n  {reference_overall}\n  {overall}",
+                file=sys.stderr,
+            )
+            failed = True
+        for groupid in sorted(reference_shards):
+            if shards.get(groupid) != reference_shards[groupid]:
+                print(
+                    f"determinism: FAIL -- shard {groupid} digest of run "
+                    f"{attempt} differs from run 1:\n"
+                    f"  {reference_shards[groupid]}\n  {shards.get(groupid)}",
+                    file=sys.stderr,
+                )
+                failed = True
+    if failed:
+        return 1
+    for groupid in sorted(reference_shards):
+        print(f"  {groupid}: {reference_shards[groupid]}")
+    print(
+        f"determinism: OK ({args.runs} runs, {args.shards} shards "
+        "byte-identical)"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.shard", description=__doc__
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    determinism = subparsers.add_parser(
+        "determinism",
+        help="same seed twice must yield byte-identical per-shard digests",
+    )
+    determinism.add_argument("--seed", type=int, default=7)
+    determinism.add_argument("--shards", type=int, default=4)
+    determinism.add_argument("--txns", type=int, default=60)
+    determinism.add_argument("--runs", type=int, default=2)
+    determinism.add_argument("--concurrency", type=int, default=8)
+    determinism.add_argument("--cross-ratio", type=float, default=0.25)
+    determinism.add_argument("--duration", type=float, default=20000.0)
+    determinism.set_defaults(func=_determinism)
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

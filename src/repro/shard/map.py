@@ -1,0 +1,172 @@
+"""ShardMap: a versioned assignment of a key space to replica groups.
+
+A shard map partitions the (string) key space over N module groups, each
+of which is an independent viewstamped-replication group.  Two strategies
+are supported:
+
+- **hash**: keys are assigned by ``crc32(key) % n``.  CRC32 is used --
+  never Python's builtin ``hash`` -- because routing must be stable
+  across processes, seeds, and interpreter restarts (``PYTHONHASHSEED``
+  salts ``hash``); two runs of the same workload must route every key to
+  the same shard or per-shard determinism checks are meaningless.
+- **range**: keys are assigned by binary search over ``n - 1`` sorted
+  boundary keys (shard *i* owns ``boundaries[i-1] <= key < boundaries[i]``).
+
+Maps are immutable values carrying a ``version``; rebalancing produces a
+*new* map with a strictly larger version, which is republished through the
+:class:`~repro.location.service.LocationService`.  The location service
+rejects version regressions, so a stale publisher can never roll routing
+backwards (the same monotonicity discipline the paper applies to viewids).
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def stable_hash(key: str) -> int:
+    """Process- and seed-independent hash of a routing key."""
+    return zlib.crc32(key.encode("utf-8"))
+
+
+class ShardMap:
+    """An immutable, versioned key -> shard-group assignment."""
+
+    def __init__(
+        self,
+        groupids: Sequence[str],
+        strategy: str = "hash",
+        boundaries: Optional[Sequence[str]] = None,
+        version: int = 1,
+    ):
+        groupids = tuple(groupids)
+        if not groupids:
+            raise ValueError("ShardMap needs at least one shard group")
+        if len(set(groupids)) != len(groupids):
+            raise ValueError(f"duplicate shard groupids: {groupids}")
+        if version < 1:
+            raise ValueError(f"ShardMap version must be >= 1, got {version}")
+        if strategy not in ("hash", "range"):
+            raise ValueError(f"unknown shard strategy {strategy!r}")
+        if strategy == "range":
+            if boundaries is None:
+                raise ValueError("range strategy needs boundaries")
+            boundaries = tuple(boundaries)
+            if len(boundaries) != len(groupids) - 1:
+                raise ValueError(
+                    f"range map over {len(groupids)} shards needs "
+                    f"{len(groupids) - 1} boundaries, got {len(boundaries)}"
+                )
+            if list(boundaries) != sorted(set(boundaries)):
+                raise ValueError("boundaries must be strictly increasing")
+        elif boundaries is not None:
+            raise ValueError("hash strategy takes no boundaries")
+        self.groupids = groupids
+        self.strategy = strategy
+        self.boundaries: Tuple[str, ...] = tuple(boundaries or ())
+        self.version = version
+
+    # -- routing ----------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.groupids)
+
+    def shard_index(self, key: str) -> int:
+        if self.strategy == "hash":
+            return stable_hash(key) % len(self.groupids)
+        return bisect.bisect_right(self.boundaries, key)
+
+    def shard_for(self, key: str) -> str:
+        """The groupid owning *key* under this map version."""
+        return self.groupids[self.shard_index(key)]
+
+    def assignments(
+        self, keys: Iterable[str]
+    ) -> List[Tuple[str, Tuple[str, ...]]]:
+        """(groupid, owned keys) pairs, sorted by groupid.
+
+        The sorted order is what cross-shard transaction programs iterate
+        in, so the participant-contact order -- and hence the trace -- is
+        deterministic regardless of the caller's key order.
+        """
+        by_shard: Dict[str, List[str]] = {}
+        for key in keys:
+            by_shard.setdefault(self.shard_for(key), []).append(key)
+        return [(gid, tuple(by_shard[gid])) for gid in sorted(by_shard)]
+
+    def group_pairs(
+        self, pairs: Iterable[Tuple[str, object]]
+    ) -> List[Tuple[str, Tuple[Tuple[str, object], ...]]]:
+        """Like :meth:`assignments`, but over (key, value) pairs."""
+        by_shard: Dict[str, List[Tuple[str, object]]] = {}
+        for key, value in pairs:
+            by_shard.setdefault(self.shard_for(key), []).append((key, value))
+        return [(gid, tuple(by_shard[gid])) for gid in sorted(by_shard)]
+
+    # -- rebalancing ------------------------------------------------------
+
+    def rebalanced(
+        self, boundaries: Optional[Sequence[str]] = None
+    ) -> "ShardMap":
+        """A new map over the same groups with ``version + 1``.
+
+        For range maps, pass new *boundaries* to move key ranges between
+        the existing shards.  Hash maps keep their assignment (the group
+        set is fixed for the lifetime of a façade); the bumped version
+        still matters -- it is what lets a republish supersede cached
+        routing elsewhere.  Data migration between shards is out of scope
+        (see docs/SHARDING.md).
+        """
+        if self.strategy == "hash":
+            if boundaries is not None:
+                raise ValueError("hash maps take no boundaries")
+            new = ShardMap(
+                self.groupids, strategy="hash", version=self.version + 1
+            )
+        else:
+            new = ShardMap(
+                self.groupids,
+                strategy="range",
+                boundaries=self.boundaries if boundaries is None else boundaries,
+                version=self.version + 1,
+            )
+        return new
+
+    def moved_keys(self, other: "ShardMap", keys: Iterable[str]) -> List[str]:
+        """The subset of *keys* whose owner differs between two maps."""
+        return [k for k in keys if self.shard_for(k) != other.shard_for(k)]
+
+    # -- value semantics ---------------------------------------------------
+
+    def describe(self) -> dict:
+        """A deterministic, JSON-safe summary (used by traces and the CLI)."""
+        doc = {
+            "version": self.version,
+            "strategy": self.strategy,
+            "groups": list(self.groupids),
+        }
+        if self.strategy == "range":
+            doc["boundaries"] = list(self.boundaries)
+        return doc
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ShardMap):
+            return NotImplemented
+        return (
+            self.groupids == other.groupids
+            and self.strategy == other.strategy
+            and self.boundaries == other.boundaries
+            and self.version == other.version
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.groupids, self.strategy, self.boundaries, self.version))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardMap(v{self.version}, {self.strategy}, "
+            f"shards={len(self.groupids)})"
+        )

@@ -63,6 +63,10 @@ EVENT_KINDS: Dict[str, str] = {
     "prepare_decision": "a participant accepted or refused a prepare",
     "commit_applied": "a participant added and forced a committed record",
     "abort_applied": "a participant discarded a transaction locally",
+    # sharding (repro.shard, core/client_role.py)
+    "shard_route": "a sharded facade routed a request to its owning groups",
+    "shard_prepare": "a cross-group prepare went out to one participant",
+    "shard_commit": "a cross-group commit point covering many participants",
 }
 
 

@@ -54,6 +54,79 @@ class ClosedLoopStats:
         return self.aborted / self.submitted
 
 
+@dataclasses.dataclass
+class KeyedLoopStats(ClosedLoopStats):
+    """Closed-loop stats plus per-job outcomes with shard attribution.
+
+    ``results`` holds one (program, touched shard groupids, outcome)
+    triple per finished job, so experiments can ask questions like "did
+    any transaction *not* touching the crashed shard abort?".
+    """
+
+    results: List[Tuple[str, Tuple[str, ...], str]] = dataclasses.field(
+        default_factory=list
+    )
+
+    def aborted_touching(self, groupid: str) -> int:
+        return sum(
+            1
+            for _program, shards, outcome in self.results
+            if outcome == "aborted" and groupid in shards
+        )
+
+    def aborted_elsewhere(self, groupid: str) -> int:
+        return sum(
+            1
+            for _program, shards, outcome in self.results
+            if outcome == "aborted" and groupid not in shards
+        )
+
+
+def run_keyed_loop(
+    runtime,
+    driver,
+    sharded,
+    jobs: Iterable[Tuple[str, tuple]],
+    concurrency: int = 1,
+    think_time: float = 0.0,
+    stats: Optional[KeyedLoopStats] = None,
+) -> KeyedLoopStats:
+    """Closed-loop load through a sharded façade's key-addressed routing.
+
+    Like :func:`run_closed_loop`, but each (program, args) job is routed
+    by the façade's shard map via :meth:`Driver.submit_keyed`, and every
+    outcome is recorded with the shards the job touched.
+    """
+    if stats is None:
+        stats = KeyedLoopStats()
+    stats.started_at = runtime.sim.now
+    job_iter = iter(list(jobs))
+    sim = runtime.sim
+
+    def worker():
+        from repro.sim.process import sleep
+
+        for program, args in job_iter:
+            shards = sharded.touched_shards(program, tuple(args))
+            submitted_at = sim.now
+            outcome, _result = yield driver.submit_keyed(sharded, program, *args)
+            stats.latencies.append(sim.now - submitted_at)
+            stats.results.append((program, shards, outcome))
+            if outcome == "committed":
+                stats.committed += 1
+            elif outcome == "aborted":
+                stats.aborted += 1
+            else:
+                stats.unknown += 1
+            stats.finished_at = sim.now
+            if think_time > 0:
+                yield sleep(think_time)
+
+    for index in range(concurrency):
+        spawn(sim, worker(), name=f"keyed-loadgen-{index}")
+    return stats
+
+
 def run_closed_loop(
     runtime,
     driver,

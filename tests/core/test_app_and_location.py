@@ -86,7 +86,13 @@ def test_location_register_lookup():
 
 def test_location_duplicate_rejected():
     location = LocationService()
-    location.register("g", ())
+    location.register("g", ((0, "g/0"),))
+    with pytest.raises(ValueError):
+        location.register("g", ((0, "g/0"),))
+
+
+def test_location_empty_configuration_rejected():
+    location = LocationService()
     with pytest.raises(ValueError):
         location.register("g", ())
 
@@ -95,6 +101,32 @@ def test_location_unknown_raises():
     location = LocationService()
     with pytest.raises(KeyError):
         location.lookup("missing")
+
+
+def test_location_try_lookup_is_tolerant():
+    location = LocationService()
+    location.register("g", ((0, "g/0"),))
+    assert location.try_lookup("g") == ((0, "g/0"),)
+    assert location.try_lookup("missing") is None
+
+
+def test_location_lookup_many_skips_unknown_groups():
+    location = LocationService()
+    location.register("a", ((0, "a/0"),))
+    location.register("b", ((0, "b/0"), (1, "b/1")))
+    found = location.lookup_many(["a", "missing", "b"])
+    assert found == {"a": ((0, "a/0"),), "b": ((0, "b/0"), (1, "b/1"))}
+
+
+def test_location_primary_address_tolerates_unknown():
+    class FakeView:
+        primary = 1
+
+    location = LocationService()
+    location.register("g", ((0, "g/0"), (1, "g/1")))
+    assert location.primary_address("g", FakeView()) == "g/1"
+    assert location.primary_address("missing", FakeView()) is None
+    assert location.primary_address("g", None) is None
 
 
 # -- runtime ------------------------------------------------------------------------

@@ -1,0 +1,145 @@
+"""ShardMap unit tests: stable routing, validation, versioned rebalance."""
+
+import zlib
+
+import pytest
+
+from repro.location.service import LocationService
+from repro.shard.map import ShardMap, stable_hash
+
+KEYS = [f"k{i}" for i in range(200)]
+
+
+def test_hash_routing_is_crc32_modulo_shards():
+    shard_map = ShardMap(("g0", "g1", "g2"))
+    for key in KEYS:
+        expected = zlib.crc32(key.encode()) % 3
+        assert shard_map.shard_for(key) == f"g{expected}"
+
+
+def test_routing_pinned_and_stable_across_instances():
+    # Routing must never depend on the interpreter, the process, or a
+    # runtime seed (PYTHONHASHSEED salts builtin hash); pin concrete
+    # assignments so a hash-function change fails loudly here.
+    shard_map = ShardMap(("g0", "g1", "g2", "g3"))
+    again = ShardMap(("g0", "g1", "g2", "g3"))
+    assert [shard_map.shard_for(k) for k in KEYS] == [
+        again.shard_for(k) for k in KEYS
+    ]
+    assert stable_hash("k0") == zlib.crc32(b"k0") == 3775500351
+    pinned = {"k0": "g3", "k1": "g1", "k2": "g3", "k3": "g1",
+              "alpha": "g2", "omega": "g2"}
+    assert {key: shard_map.shard_for(key) for key in pinned} == pinned
+
+
+def test_hash_routing_populates_every_shard():
+    shard_map = ShardMap(tuple(f"g{i}" for i in range(8)))
+    owners = {shard_map.shard_for(key) for key in KEYS}
+    assert owners == set(shard_map.groupids)
+
+
+def test_range_routing_boundaries():
+    shard_map = ShardMap(
+        ("low", "mid", "high"), strategy="range", boundaries=("g", "p")
+    )
+    assert shard_map.shard_for("apple") == "low"
+    assert shard_map.shard_for("g") == "mid"  # boundary key goes right
+    assert shard_map.shard_for("monkey") == "mid"
+    assert shard_map.shard_for("p") == "high"
+    assert shard_map.shard_for("zebra") == "high"
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(groupids=()),
+        dict(groupids=("g0", "g0")),
+        dict(groupids=("g0",), version=0),
+        dict(groupids=("g0",), strategy="modulo"),
+        dict(groupids=("g0", "g1"), strategy="range"),
+        dict(groupids=("g0", "g1"), strategy="range", boundaries=("a", "b")),
+        dict(groupids=("g0", "g1", "g2"), strategy="range",
+             boundaries=("p", "g")),
+        dict(groupids=("g0", "g1", "g2"), strategy="range",
+             boundaries=("g", "g")),
+        dict(groupids=("g0", "g1"), boundaries=("g",)),
+    ],
+)
+def test_invalid_maps_rejected(kwargs):
+    with pytest.raises(ValueError):
+        ShardMap(**kwargs)
+
+
+def test_assignments_partition_keys_sorted_by_group():
+    shard_map = ShardMap(("g0", "g1", "g2", "g3"))
+    assignments = shard_map.assignments(KEYS)
+    assert [gid for gid, _keys in assignments] == sorted(
+        gid for gid, _keys in assignments
+    )
+    flat = [key for _gid, keys in assignments for key in keys]
+    assert sorted(flat) == sorted(KEYS)
+    for gid, keys in assignments:
+        assert all(shard_map.shard_for(key) == gid for key in keys)
+
+
+def test_group_pairs_keep_values_with_their_keys():
+    shard_map = ShardMap(("g0", "g1"))
+    pairs = [(key, f"v-{key}") for key in KEYS[:20]]
+    for gid, shard_pairs in shard_map.group_pairs(pairs):
+        for key, value in shard_pairs:
+            assert shard_map.shard_for(key) == gid
+            assert value == f"v-{key}"
+
+
+def test_rebalanced_hash_map_keeps_assignment_and_bumps_version():
+    shard_map = ShardMap(("g0", "g1", "g2"))
+    rebalanced = shard_map.rebalanced()
+    assert rebalanced.version == shard_map.version + 1
+    assert shard_map.moved_keys(rebalanced, KEYS) == []
+    with pytest.raises(ValueError):
+        shard_map.rebalanced(boundaries=("m",))
+
+
+def test_rebalanced_range_map_moves_keys():
+    shard_map = ShardMap(("low", "high"), strategy="range", boundaries=("m",))
+    rebalanced = shard_map.rebalanced(boundaries=("p",))
+    assert rebalanced.version == 2
+    moved = shard_map.moved_keys(rebalanced, ["a", "m", "n", "o", "p", "z"])
+    assert moved == ["m", "n", "o"]  # now < "p", so they move low
+    assert rebalanced.shard_for("n") == "low"
+    assert shard_map.shard_for("n") == "high"
+
+
+def test_describe_is_json_safe_and_versioned():
+    shard_map = ShardMap(("g0", "g1"), strategy="range", boundaries=("m",))
+    doc = shard_map.describe()
+    assert doc == {
+        "version": 1,
+        "strategy": "range",
+        "groups": ["g0", "g1"],
+        "boundaries": ["m"],
+    }
+
+
+def test_value_semantics():
+    a = ShardMap(("g0", "g1"))
+    b = ShardMap(("g0", "g1"))
+    assert a == b and hash(a) == hash(b)
+    assert a != a.rebalanced()
+
+
+def test_location_publish_requires_version_to_advance():
+    location = LocationService()
+    first = ShardMap(("g0", "g1"))
+    location.publish_shard_map("kv", first)
+    assert location.shard_map("kv") is first
+    assert "kv" in location.shard_maps()
+    with pytest.raises(ValueError):
+        location.publish_shard_map("kv", ShardMap(("g0", "g1")))  # same v1
+    newer = first.rebalanced()
+    location.publish_shard_map("kv", newer)
+    assert location.shard_map("kv") is newer
+    with pytest.raises(ValueError):
+        location.publish_shard_map("kv", first)  # stale republish
+    with pytest.raises(KeyError):
+        location.shard_map("unpublished")

@@ -1,0 +1,49 @@
+"""Shared helpers for the sharding test suite."""
+
+from __future__ import annotations
+
+from repro import Runtime
+
+
+def build_sharded(seed=11, n_shards=4, name="kv", settle=150.0, trace=None,
+                  **kwargs):
+    """Runtime + sharded façade + driver, settled into initial views."""
+    trace_kwargs = {"trace": trace} if trace is not None else {}
+    rt = Runtime(seed=seed, **trace_kwargs)
+    sharded = rt.sharded_group(name, n_shards=n_shards, **kwargs)
+    driver = rt.create_driver("driver")
+    rt.run_for(settle)
+    return rt, sharded, driver
+
+
+def submit(rt, driver, sharded, program, *args, time=800.0, retries=8):
+    """Submit one key-addressed job and run until it resolves."""
+    future = driver.submit_keyed(sharded, program, *args, retries=retries)
+    rt.run_for(time)
+    assert future.done, f"{program}{args!r} still pending after {time}"
+    return future.result()
+
+
+def keys_owned_by(sharded, index, count=1, prefix="q"):
+    """The first *count* keys the map assigns to shard *index*."""
+    groupid = sharded.shard_groupid(index)
+    found = []
+    candidate = 0
+    while len(found) < count:
+        key = f"{prefix}{candidate}"
+        if sharded.map.shard_for(key) == groupid:
+            found.append(key)
+        candidate += 1
+        assert candidate < 10_000, f"no keys hash to {groupid}"
+    return found
+
+
+def await_primary(rt, group, deadline=4000.0):
+    """Run until *group* has an active primary; fail past *deadline*."""
+    limit = rt.sim.now + deadline
+    while rt.sim.now < limit:
+        primary = group.active_primary()
+        if primary is not None:
+            return primary
+        rt.run_for(50)
+    raise AssertionError(f"no active primary for {group.groupid}")
