@@ -1,0 +1,18 @@
+"""Experiment E18: batched & pipelined replication vs the unbatched path.
+
+Regenerates the E18 table of EXPERIMENTS.md.
+"""
+
+from repro.harness import e18_batching
+
+from helpers import run_experiment
+
+
+def test_e18_batching(benchmark):
+    result = run_experiment(benchmark, e18_batching)
+    assert result.rows, "experiment produced no rows"
+    # The safety half of the claim is binary: every config on every
+    # schedule must reproduce the unbatched run's final state.
+    assert all(row[-1] == "yes" for row in result.rows), (
+        "a batched run diverged from the unbatched state digest"
+    )

@@ -37,9 +37,9 @@ def main():
     # Warm up both drivers' caches.
     for d in (driver, minority_driver):
         group = "clients" if d is driver else "minority-clients"
-        outcome = d.submit(group, "update", "kv", spec.key(0))
+        outcome = d.call(group, "update", "kv", spec.key(0))
         rt.run_for(200)
-        assert outcome.result()[0] == "committed"
+        assert outcome.result().committed
 
     old_primary = kv.active_primary()
     print(f"old primary: cohort {old_primary.mymid} in view {old_primary.cur_viewid}")
@@ -56,7 +56,7 @@ def main():
     # The minority client talks to the old primary, which still thinks it
     # is active: calls run, but the commit force can never reach a
     # sub-majority, so the transaction cannot commit.
-    stale_txn = minority_driver.submit(
+    stale_txn = minority_driver.call(
         "minority-clients", "update", "kv", spec.key(1), retries=0
     )
     rt.run_for(700)
@@ -67,9 +67,9 @@ def main():
     # Majority side keeps committing meanwhile.
     committed = 0
     for _ in range(5):
-        outcome = driver.submit("clients", "update", "kv", spec.key(2))
+        outcome = driver.call("clients", "update", "kv", spec.key(2))
         rt.run_for(250)
-        if outcome.result()[0] == "committed":
+        if outcome.result().committed:
             committed += 1
     print(f"majority side committed {committed}/5 transactions during the partition")
 

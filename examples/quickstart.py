@@ -49,7 +49,7 @@ def main():
 
     print("== normal operation ==")
     for amount in (5, 10, 1):
-        outcome = driver.submit("clients", "bump", amount)
+        outcome = driver.call("clients", "bump", amount)
         rt.run_for(200)
         print(f"  bump({amount}) -> {outcome.result()}")
     primary = counter.active_primary()
@@ -69,11 +69,11 @@ def main():
     # transaction", section 3.1).  The abort refreshes the caches, so a
     # user-level retry lands on the new primary.
     for attempt in (1, 2):
-        outcome = driver.submit("clients", "bump", 100)
+        outcome = driver.call("clients", "bump", 100)
         rt.run_for(300)
         result = outcome.result()
         print(f"  bump(100) attempt {attempt} -> {result}")
-        if result[0] == "committed":
+        if result.committed:
             break
     print(f"  counter value: {counter.read_object('count')} (nothing lost)")
 

@@ -31,9 +31,9 @@ Quickstart::
     clients = rt.create_group("clients", EmptyModule(), n_cohorts=3)
     clients.register_program("bump", bump)
     driver = rt.create_driver("driver")
-    outcome = driver.submit("clients", "bump", 5)
+    outcome = driver.call("clients", "bump", 5)
     rt.run_for(500)
-    print(outcome.result())  # ("committed", 5)
+    print(outcome.result())  # CallResult(status="committed", value=5)
 """
 
 from repro.app import (
@@ -43,10 +43,11 @@ from repro.app import (
     procedure,
     transaction_program,
 )
-from repro.config import ProtocolConfig, TraceConfig
+from repro.config import BatchConfig, ProtocolConfig, TimingConfig, TraceConfig
 from repro.core import ModuleGroup, View, ViewId, Viewstamp
-from repro.driver import Driver
+from repro.driver import CallFailed, CallResult, Driver
 from repro.faults import FaultController, FaultPlan, Nemesis
+from repro.location import GroupNotFound, LocationService
 from repro.net.link import LAN, LOSSY, WAN, LinkModel
 from repro.runtime import Runtime
 from repro.shard import ShardedGroup, ShardMap
@@ -55,13 +56,18 @@ from repro.storage.stable import StableStoragePolicy
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchConfig",
     "CallContext",
+    "CallFailed",
+    "CallResult",
     "Driver",
     "EmptyModule",
     "FaultController",
     "FaultPlan",
+    "GroupNotFound",
     "LAN",
     "LOSSY",
+    "LocationService",
     "WAN",
     "LinkModel",
     "ModuleGroup",
@@ -72,6 +78,7 @@ __all__ = [
     "ShardMap",
     "ShardedGroup",
     "StableStoragePolicy",
+    "TimingConfig",
     "TraceConfig",
     "View",
     "ViewId",

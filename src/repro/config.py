@@ -11,6 +11,20 @@ The paper's engineering advice is encoded in the defaults:
 - section 3.7: "Careful engineering is needed here to provide both speedy
   delivery and small numbers of messages" -- ``flush_interval`` trades
   prepare-time force stalls (E2) against background message volume.
+
+The knobs are grouped into two nested sub-configs:
+
+- :class:`TimingConfig` holds every timeout/interval, so a variant sweep
+  (E16/E17/E18) can configure one object and pass it as
+  ``ProtocolConfig(timing=...)``;
+- :class:`BatchConfig` holds the replication hot-path batching knobs
+  (disabled by default -- ``BatchConfig()`` reproduces the paper-faithful
+  unbatched baseline).
+
+For backwards compatibility every :class:`TimingConfig` knob is *also* a
+flat field on :class:`ProtocolConfig` (``ProtocolConfig(call_timeout=60)``
+and ``dataclasses.replace(cfg, flush_interval=2.0)`` keep working); the two
+representations are reconciled in ``__post_init__``.
 """
 
 from __future__ import annotations
@@ -22,34 +36,139 @@ from repro.storage.stable import StableStoragePolicy
 
 
 @dataclasses.dataclass
-class ProtocolConfig:
-    """Timeouts and intervals for cohorts, clients, and failure detection."""
+class TimingConfig:
+    """Every timeout and interval of the protocol, in one sweepable object.
+
+    Field meanings are documented on :class:`ProtocolConfig`, which mirrors
+    each of these as a flat attribute.
+    """
 
     # -- communication buffer (section 2, 3) --
-    flush_interval: float = 5.0           # background send of buffered events
-    force_timeout: float = 60.0           # give up on a force -> view change
+    flush_interval: float = 5.0
+    force_timeout: float = 60.0
+    # -- failure detection (section 4) --
+    im_alive_interval: float = 10.0
+    suspect_multiplier: float = 3.5
+    # -- adaptive detection & retry pacing (repro.detect) --
+    min_timeout: float = 5.0
+    backoff_multiplier: float = 2.0
+    backoff_cap: float = 8.0
+    backoff_jitter: float = 0.5
+    promotion_jitter: float = 0.5
+    # -- view change (section 4, figure 5) --
+    invite_timeout: float = 40.0
+    underling_timeout: float = 80.0
+    view_retry_delay: float = 25.0
+    # -- transaction processing (section 3) --
+    call_timeout: float = 50.0
+    call_probes: int = 2
+    prepare_timeout: float = 60.0
+    commit_retry_interval: float = 40.0
+    lock_timeout: float = 120.0
+    query_interval: float = 80.0
+    # -- stable storage (section 4.2) --
+    stable_write_latency: float = 5.0
+
+
+@dataclasses.dataclass
+class BatchConfig:
+    """Replication hot-path batching and pipelining (see docs/PERF.md).
+
+    ``BatchConfig()`` (``enabled=False``) is the paper-faithful baseline:
+    every ``force_to`` flushes immediately and every :class:`BufferMsg` is
+    acknowledged individually.  With ``enabled=True`` the primary coalesces
+    records into one serialized flush per ``flush_interval`` tick, keeps up
+    to ``pipeline_depth`` record batches in flight per backup before
+    stop-and-wait, backups coalesce their cumulative acks onto the same
+    tick, and buffer traffic doubles as liveness (suppressing redundant
+    I'm-alive heartbeats).  Safety is unchanged: delivery stays in-order
+    and gapless, forces still wait for a sub-majority, and commit acks
+    still follow the force (proven by the batching determinism tests).
+    """
+
+    #: Master switch; False reproduces the unbatched protocol exactly.
+    enabled: bool = False
+    #: Max records per BufferMsg (also the unbatched per-flush cap).
+    max_batch: int = 64
+    #: Coalescing delay before a scheduled flush/ack tick fires.  Small
+    #: relative to the network's base delay, so batching adds at most one
+    #: micro-tick of latency to a force.
+    flush_interval: float = 0.5
+    #: Record batches in flight per backup before the primary stops
+    #: sending and waits for acks (go-back-N window, in units of
+    #: ``max_batch`` records).
+    pipeline_depth: int = 4
+    #: Buffer traffic carries ``sent_at`` and feeds the failure detector;
+    #: heartbeats to recently-served peers are suppressed.
+    piggyback_liveness: bool = True
+
+    def window(self) -> int:
+        """In-flight record window per backup (records, not messages)."""
+        return max(1, self.pipeline_depth) * max(1, self.max_batch)
+
+
+#: Names of the knobs mirrored between TimingConfig and ProtocolConfig.
+_TIMING_FIELDS: Tuple[str, ...] = tuple(
+    field.name for field in dataclasses.fields(TimingConfig)
+)
+
+#: Shared default instance the flat-field defaults are read from.
+_DEFAULT_TIMING = TimingConfig()
+
+
+@dataclasses.dataclass
+class ProtocolConfig:
+    """Timeouts and intervals for cohorts, clients, and failure detection.
+
+    Timing knobs live canonically in ``self.timing`` (a
+    :class:`TimingConfig`) and batching knobs in ``self.batch`` (a
+    :class:`BatchConfig`); the flat timing attributes below are kept in
+    sync for compatibility.  When both a nested ``timing=`` and an explicit
+    flat kwarg are given, a flat value that differs from its default wins
+    (this is what keeps ``dataclasses.replace(cfg, call_timeout=...)``
+    working -- ``replace`` re-passes the synced nested config alongside the
+    overridden flat field).  The one ambiguity: explicitly passing a flat
+    value equal to its default *plus* a nested config that disagrees
+    resolves to the nested value; pass ``timing=`` alone in that case.
+    """
+
+    # -- communication buffer (section 2, 3) --
+    flush_interval: float = _DEFAULT_TIMING.flush_interval   # background send
+    #                                       of buffered events (doubles as the
+    #                                       retransmit tick in batched mode)
+    force_timeout: float = _DEFAULT_TIMING.force_timeout     # give up on a
+    #                                       force -> view change
 
     # -- failure detection (section 4) --
-    im_alive_interval: float = 10.0       # heartbeat period
-    suspect_multiplier: float = 3.5       # missed-heartbeat threshold, in periods
+    im_alive_interval: float = _DEFAULT_TIMING.im_alive_interval  # heartbeat period
+    suspect_multiplier: float = _DEFAULT_TIMING.suspect_multiplier  # missed-
+    #                                       heartbeat threshold, in periods
 
     # -- adaptive detection & retry pacing (beyond the paper; repro.detect) --
     adaptive_timeouts: bool = True        # derive operational timeouts from
     #                                       live RTT estimates and use accrual
     #                                       suspicion; False restores the
     #                                       paper-faithful fixed constants
-    min_timeout: float = 5.0              # floor for any RTT-derived timeout
-    backoff_multiplier: float = 2.0       # exponential retry growth factor
-    backoff_cap: float = 8.0              # retry delay cap, in base delays
-    backoff_jitter: float = 0.5           # retry jitter spread (delay scaled
-    #                                       by 1 +/- jitter/2, seeded RNG)
-    promotion_jitter: float = 0.5         # underling->manager timeout spread,
+    min_timeout: float = _DEFAULT_TIMING.min_timeout  # floor for any
+    #                                       RTT-derived timeout
+    backoff_multiplier: float = _DEFAULT_TIMING.backoff_multiplier  # exponential
+    #                                       retry growth factor
+    backoff_cap: float = _DEFAULT_TIMING.backoff_cap  # retry delay cap, in
+    #                                       base delays
+    backoff_jitter: float = _DEFAULT_TIMING.backoff_jitter  # retry jitter
+    #                                       spread (delay scaled by 1 +/-
+    #                                       jitter/2, seeded RNG)
+    promotion_jitter: float = _DEFAULT_TIMING.promotion_jitter  # underling->
+    #                                       manager timeout spread,
     #                                       desynchronizing competing managers
 
     # -- view change (section 4, figure 5) --
-    invite_timeout: float = 40.0          # manager waits this long for accepts
-    underling_timeout: float = 80.0       # underling -> manager on silence
-    view_retry_delay: float = 25.0        # manager retries formation after fail
+    invite_timeout: float = _DEFAULT_TIMING.invite_timeout  # manager waits
+    #                                       this long for accepts
+    underling_timeout: float = _DEFAULT_TIMING.underling_timeout  # underling ->
+    #                                       manager on silence
+    view_retry_delay: float = _DEFAULT_TIMING.view_retry_delay  # manager
+    #                                       retries formation after fail
     ordered_managers: bool = True         # section 4.1: only become manager if
     #                                       higher-priority cohorts look dead
     extended_formation_rule: bool = False # beyond-the-paper condition 4: form
@@ -60,12 +179,18 @@ class ProtocolConfig:
     #                                       rule only trusts the old primary
 
     # -- transaction processing (section 3) --
-    call_timeout: float = 50.0            # client gives up on a remote call
-    call_probes: int = 2                  # probes before declaring no-reply
-    prepare_timeout: float = 60.0         # coordinator retry interval
-    commit_retry_interval: float = 40.0   # coordinator re-sends commits
-    lock_timeout: float = 120.0           # deadlock breaker (documented deviation)
-    query_interval: float = 80.0          # participant queries coordinator
+    call_timeout: float = _DEFAULT_TIMING.call_timeout  # client gives up on a
+    #                                       remote call
+    call_probes: int = _DEFAULT_TIMING.call_probes  # probes before declaring
+    #                                       no-reply
+    prepare_timeout: float = _DEFAULT_TIMING.prepare_timeout  # coordinator
+    #                                       retry interval
+    commit_retry_interval: float = _DEFAULT_TIMING.commit_retry_interval
+    #                                       # coordinator re-sends commits
+    lock_timeout: float = _DEFAULT_TIMING.lock_timeout  # deadlock breaker
+    #                                       (documented deviation)
+    query_interval: float = _DEFAULT_TIMING.query_interval  # participant
+    #                                       queries coordinator
 
     # -- unilateral view edits (section 4.1, E12) --
     unilateral_edits: bool = False        # primary may exclude/add backups
@@ -87,7 +212,7 @@ class ProtocolConfig:
     #                                       would be processed more slowly"
 
     # -- stable storage (section 4.2) --
-    stable_write_latency: float = 5.0
+    stable_write_latency: float = _DEFAULT_TIMING.stable_write_latency
     storage_policy: StableStoragePolicy = StableStoragePolicy.MINIMAL
     force_to_stable: bool = False         # every force also blocks on a
     #                                       stable-storage write.  With a
@@ -97,6 +222,33 @@ class ProtocolConfig:
     #                                       stable-storage records); with
     #                                       replicas it is the section 4.2
     #                                       catastrophe hardening.
+
+    # -- nested sub-configs (canonical home of the knobs above) --
+    timing: Optional[TimingConfig] = None
+    batch: Optional[BatchConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.batch is None:
+            self.batch = BatchConfig()
+        if self.timing is None:
+            self.timing = TimingConfig(
+                **{name: getattr(self, name) for name in _TIMING_FIELDS}
+            )
+            return
+        # Reconcile nested and flat: an explicitly overridden flat value
+        # (one that differs from the TimingConfig default) wins, everything
+        # else comes from the nested config; then rebuild the nested config
+        # from the merged values so the two views cannot disagree.
+        merged = {}
+        for name in _TIMING_FIELDS:
+            flat = getattr(self, name)
+            if flat != getattr(_DEFAULT_TIMING, name):
+                merged[name] = flat
+            else:
+                merged[name] = getattr(self.timing, name)
+        for name, value in merged.items():
+            setattr(self, name, value)
+        self.timing = TimingConfig(**merged)
 
     def suspect_timeout(self) -> float:
         """Silence longer than this marks a cohort unreachable."""

@@ -21,10 +21,22 @@ Two operations, exactly as specified:
   to v.ts."
 
 Reliable in-order delivery over the lossy datagram network is implemented
-with cumulative acks: each flush re-sends every record above the backup's
-last ack, and backups apply records contiguously.  Delivery failure is
-surfaced as a force timeout, which abandons the force and triggers a view
-change, matching the paper's footnote 1.
+with cumulative acks, in one of two transmission modes:
+
+- **unbatched** (the paper-faithful default): every force flushes
+  immediately ("speedy delivery"), and every flush re-sends the whole
+  suffix above the backup's last cumulative ack;
+- **batched** (``BatchConfig.enabled``): forces only *request* a flush;
+  one coalescing tick per ``BatchConfig.flush_interval`` sends each backup
+  at most ``max_batch`` *new* records (tracked by a per-backup send
+  high-water mark) with up to ``pipeline_depth`` batches in flight before
+  the sender stalls.  Loss recovery is go-back-N: the background flush
+  loop notices a stalled cumulative ack and rewinds the high-water mark to
+  it.  Section 3.7's "careful engineering is needed here to provide both
+  speedy delivery and small numbers of messages" is exactly this trade.
+
+Delivery failure is surfaced as a force timeout in either mode, which
+abandons the force and triggers a view change, matching footnote 1.
 """
 
 from __future__ import annotations
@@ -68,6 +80,13 @@ class CommunicationBuffer:
     configuration_size:
         Group size; the force threshold is a *sub-majority of the
         configuration* (section 3), not of the current view.
+    batch_enabled / flush_delay / pipeline_depth:
+        Batched transmission mode (see module docstring).  Defaults
+        reproduce the unbatched protocol exactly.
+    clock:
+        ``clock()`` -> current virtual time; only needed for batched mode.
+    trace:
+        Optional ``trace(kind, **data)`` hook for batch_flush events.
     """
 
     def __init__(
@@ -81,6 +100,11 @@ class CommunicationBuffer:
         force_timeout: float,
         max_batch: int = 64,
         retain_all: bool = False,
+        batch_enabled: bool = False,
+        flush_delay: float = 0.0,
+        pipeline_depth: int = 1,
+        clock: Optional[Callable[[], float]] = None,
+        trace: Optional[Callable[..., None]] = None,
     ):
         self.viewid = viewid
         self.backups = tuple(backups)
@@ -93,6 +117,11 @@ class CommunicationBuffer:
         self._retain_all = retain_all  # keep the whole view's records so an
         #                                unilaterally re-added backup can be
         #                                caught up from where it left off
+        self._batch_enabled = batch_enabled
+        self._flush_delay = flush_delay
+        self._pipeline_depth = max(1, pipeline_depth)
+        self._clock = clock
+        self._trace = trace
 
         self.timestamp = 0  # Figure 1's "timestamp: int % the timestamp generator"
         self._records: List[Tuple[int, EventRecord]] = []
@@ -100,6 +129,16 @@ class CommunicationBuffer:
         self.acked: Dict[int, int] = {mid: 0 for mid in self.backups}
         self._pending_forces: List[_PendingForce] = []
         self.closed = False
+        # Batched-mode state: per-backup send high-water mark (highest ts
+        # ever shipped), ack progress seen at the last background sweep
+        # (go-back-N stall detection), and the pending coalescing tick.
+        self._sent: Dict[int, int] = {mid: 0 for mid in self.backups}
+        self._last_swept_ack: Dict[int, int] = {}
+        self._tick_pending = False
+        # Counters surfaced by perf reports and the batching experiments.
+        self.msgs_sent = 0
+        self.records_sent = 0
+        self.flush_ticks = 0
 
     # -- membership (unilateral view edits, section 4.1) --------------------
 
@@ -107,9 +146,12 @@ class CommunicationBuffer:
         self.backups = tuple(backups)
         for mid in self.backups:
             self.acked.setdefault(mid, 0)
+            self._sent.setdefault(mid, 0)
         for mid in list(self.acked):
             if mid not in self.backups:
                 del self.acked[mid]
+                self._sent.pop(mid, None)
+                self._last_swept_ack.pop(mid, None)
         self._check_forces()
 
     # -- the two operations -----------------------------------------------
@@ -120,6 +162,8 @@ class CommunicationBuffer:
             raise SimulationError("buffer closed (view change in progress)")
         self.timestamp += 1
         self._records.append((self.timestamp, record))
+        if self._batch_enabled:
+            self.request_flush()
         return Viewstamp(self.viewid, self.timestamp)
 
     def force_to(self, viewstamp: Optional[Viewstamp]) -> Future:
@@ -149,26 +193,125 @@ class CommunicationBuffer:
         self._pending_forces.append(
             _PendingForce(viewstamp.ts, future, deadline)
         )
-        self.flush()  # speedy delivery: don't wait for the background timer
+        if self._batch_enabled:
+            self.request_flush()  # coalesced: one tick serves every force
+        else:
+            self.flush()  # speedy delivery: don't wait for the background timer
         return future
 
     # -- transmission ------------------------------------------------------
 
     def flush(self) -> None:
-        """Send every backup the records above its cumulative ack."""
+        """Background sweep: re-send what backups are missing.
+
+        Unbatched mode re-sends every backup the full suffix above its
+        cumulative ack.  Batched mode is the go-back-N retransmit path: a
+        backup whose cumulative ack has not advanced since the previous
+        sweep, while records beyond it were already shipped, has lost
+        traffic -- rewind its send mark to the ack and re-send from there.
+        """
         if self.closed:
             return
+        if not self._batch_enabled:
+            for mid in self.backups:
+                self._flush_one(mid)
+            return
+        rewound = False
         for mid in self.backups:
-            self._flush_one(mid)
+            acked = self.acked.get(mid, 0)
+            sent = self._sent.get(mid, 0)
+            if sent > acked and self._last_swept_ack.get(mid) == acked:
+                self._sent[mid] = acked
+                rewound = True
+            self._last_swept_ack[mid] = acked
+        if rewound or self._unsent_backups():
+            self._flush_tick()
+
+    def request_flush(self) -> None:
+        """Schedule one coalescing flush tick (batched mode only)."""
+        if self.closed or self._tick_pending:
+            return
+        self._tick_pending = True
+        self._set_timer(self._flush_delay, self._flush_tick_timer)
+
+    def _flush_tick_timer(self) -> None:
+        self._tick_pending = False
+        if not self.closed:
+            self._flush_tick()
+
+    def _flush_tick(self) -> None:
+        """Send each backup its next window of new records, coalesced."""
+        msgs = 0
+        records = 0
+        for mid in self.backups:
+            n = self._flush_one_batched(mid)
+            if n:
+                msgs += 1
+                records += n
+        if msgs:
+            self.flush_ticks += 1
+            if self._trace is not None:
+                self._trace(
+                    "batch_flush",
+                    msgs=msgs,
+                    records=records,
+                    ts=self.timestamp,
+                )
+        # Keep the pipeline draining while windows are open and records
+        # remain unsent (a single tick ships at most max_batch per backup).
+        if self._unsent_backups():
+            self.request_flush()
+
+    def _flush_one_batched(self, mid: int) -> int:
+        """Ship *mid* its next batch of unsent records; returns the count."""
+        acked = self.acked.get(mid, 0)
+        sent = max(self._sent.get(mid, 0), acked, self._base_ts)
+        window_limit = acked + self._pipeline_depth * self._max_batch
+        if sent >= self.timestamp or sent >= window_limit:
+            return 0
+        start_index = sent - self._base_ts
+        end_ts = min(sent + self._max_batch, window_limit)
+        records = tuple(self._records[start_index : end_ts - self._base_ts])
+        if not records:
+            return 0
+        self._sent[mid] = records[-1][0]
+        self.msgs_sent += 1
+        self.records_sent += len(records)
+        self._send(
+            mid,
+            BufferMsg(
+                viewid=self.viewid,
+                records=records,
+                primary_ts=self.timestamp,
+                sent_at=self._clock() if self._clock is not None else None,
+            ),
+        )
+        return len(records)
+
+    def _unsent_backups(self) -> bool:
+        """True if any backup has unsent records inside an open window."""
+        for mid in self.backups:
+            acked = self.acked.get(mid, 0)
+            sent = max(self._sent.get(mid, 0), acked, self._base_ts)
+            if sent < self.timestamp and sent < acked + (
+                self._pipeline_depth * self._max_batch
+            ):
+                return True
+        return False
 
     def _flush_one(self, mid: int) -> None:
         acked = self.acked.get(mid, 0)
         start = max(acked, self._base_ts)
+        # _records is contiguous from _base_ts + 1, so index arithmetic
+        # replaces the O(n) scan on this hot path.
+        start_index = start - self._base_ts
         records = tuple(
-            (ts, record) for ts, record in self._records if ts > start
-        )[: self._max_batch]
+            self._records[start_index : start_index + self._max_batch]
+        )
         if not records and acked >= self.timestamp:
             return
+        self.msgs_sent += 1
+        self.records_sent += len(records)
         self._send(
             mid,
             BufferMsg(viewid=self.viewid, records=records, primary_ts=self.timestamp),
@@ -182,6 +325,12 @@ class CommunicationBuffer:
             return  # excluded backup (unilateral edit) or stray
         if ack.acked_ts > self.acked[ack.mid]:
             self.acked[ack.mid] = ack.acked_ts
+            if self._batch_enabled:
+                if ack.acked_ts > self._sent.get(ack.mid, 0):
+                    self._sent[ack.mid] = ack.acked_ts
+                # An advancing ack opens window space: keep the pipe full.
+                if self._unsent_backups():
+                    self.request_flush()
             self._check_forces()
             self._trim()
 
@@ -235,7 +384,8 @@ class CommunicationBuffer:
         min_ack = min(self.acked.values())
         if min_ack <= self._base_ts:
             return
-        self._records = [(ts, r) for ts, r in self._records if ts > min_ack]
+        drop = min_ack - self._base_ts
+        del self._records[:drop]
         self._base_ts = min_ack
 
     def close(self) -> None:

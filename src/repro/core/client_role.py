@@ -357,6 +357,21 @@ class ClientRole:
         txn = state.txn
         cross_group = len(txn.pset.participants()) > 1
         for groupid in groupids:
+            if cohort.config.batch.enabled and groupid == cohort.mygroupid:
+                # We coordinate a transaction on our own group (a sharded
+                # group's single-key path): deliver the prepare
+                # synchronously instead of routing it through the network
+                # back to ourselves.  Idempotent under the retry loop, like
+                # the wire path.
+                cohort.server_role.on_prepare(
+                    m.PrepareMsg(
+                        aid=txn.aid,
+                        pset_pairs=tuple(txn.pset.pairs()),
+                        coordinator=cohort.address,
+                        aborted_subactions=tuple(sorted(txn.aborted_subactions)),
+                    )
+                )
+                continue
             entry = cohort.cache.get(groupid)
             if entry is None:
                 continue  # retry loop will re-probe
@@ -503,6 +518,18 @@ class ClientRole:
     def _send_commits(self, aid: Aid, groupids, pset_pairs) -> None:
         cohort = self.cohort
         for groupid in groupids:
+            if cohort.config.batch.enabled and groupid == cohort.mygroupid:
+                # Self-participant commit, delivered synchronously (mirrors
+                # the _abort_txn local-abort path; _perform_commit's
+                # already_installed check keeps retries idempotent).
+                cohort.server_role.on_commit(
+                    m.CommitMsg(
+                        aid=aid,
+                        pset_pairs=tuple(pset_pairs),
+                        coordinator=cohort.address,
+                    )
+                )
+                continue
             entry = cohort.cache.get(groupid)
             if entry is None:
                 for _mid, address in cohort.locate(groupid):

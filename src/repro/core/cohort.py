@@ -139,6 +139,13 @@ class Cohort(Actor):
         self.timeouts = AdaptiveTimeouts(config, self.rtt)
         self._change_pending_since: Optional[float] = None
         self._epoch = 0  # bumped on every status transition; guards timers
+        # Batched-mode liveness piggybacking: when buffer traffic to a peer
+        # carries sent_at, the periodic heartbeat to that peer is redundant.
+        self._last_liveness_sent: Dict[int, float] = {}
+        # Batched-mode ack coalescing: applied-but-unacked BufferMsg count
+        # and whether the coalescing timer is armed.
+        self._acks_pending = 0
+        self._ack_timer_armed = False
 
         runtime.network.register(self)
         if self.is_primary:
@@ -221,6 +228,12 @@ class Cohort(Actor):
             self._handle_buffer_msg(message)
             return
         if isinstance(message, m.BufferAckMsg):
+            if self.config.batch.enabled and self.config.batch.piggyback_liveness:
+                # Acks prove the backup is alive; feed the detector so the
+                # backup may skip its redundant heartbeat (batched mode).
+                if message.mid in self.last_heard:
+                    self.last_heard[message.mid] = self.sim.now
+                    self.detect.heard(message.mid, sent_at=message.sent_at)
             if self.is_active_primary and self.buffer is not None:
                 self.buffer.on_ack(message)
             return
@@ -426,6 +439,15 @@ class Cohort(Actor):
             return
         if msg.viewid != self.cur_viewid or self.is_primary:
             return  # stale primary's traffic, or ours echoed back
+        if (
+            self.config.batch.enabled
+            and self.config.batch.piggyback_liveness
+            and self.cur_view.primary in self.last_heard
+        ):
+            # Buffer traffic from the primary is proof of life (batched
+            # mode stamps sent_at, so the RTT estimator gets a sample too).
+            self.last_heard[self.cur_view.primary] = self.sim.now
+            self.detect.heard(self.cur_view.primary, sent_at=msg.sent_at)
         self._apply_buffer_records(msg.records)
         self._ack_buffer()
 
@@ -454,10 +476,59 @@ class Cohort(Actor):
                 self.stable.write_immediate("gstate", self._gstate_snapshot())
 
     def _ack_buffer(self) -> None:
+        """Acknowledge applied records; coalesced in batched mode.
+
+        Unbatched, every BufferMsg is acked individually (the paper's
+        implicit scheme).  Batched, acks are cumulative anyway, so one ack
+        per coalescing tick answers every BufferMsg applied during it.
+        """
+        batch = self.config.batch
+        if not batch.enabled or batch.flush_interval <= 0:
+            self._send_ack_now()
+            return
+        self._acks_pending += 1
+        if self._ack_timer_armed:
+            return
+        self._ack_timer_armed = True
+        epoch = self._epoch
+        viewid = self.cur_viewid
+
+        def fire() -> None:
+            self._ack_timer_armed = False
+            coalesced, self._acks_pending = self._acks_pending, 0
+            if (
+                self._epoch != epoch
+                or self.status is not Status.ACTIVE
+                or self.cur_viewid != viewid
+                or self.is_primary
+            ):
+                return
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "ack_coalesce",
+                    node=self.node.node_id,
+                    group=self.mygroupid,
+                    mid=self.mymid,
+                    coalesced=coalesced,
+                    acked_ts=self.applied_ts,
+                )
+            self._send_ack_now()
+
+        self.set_timer(batch.flush_interval, fire)
+
+    def _send_ack_now(self) -> None:
+        batch = self.config.batch
+        sent_at = None
+        if batch.enabled and batch.piggyback_liveness:
+            sent_at = self.sim.now
+            self._last_liveness_sent[self.cur_view.primary] = self.sim.now
         self.send_mid(
             self.cur_view.primary,
             m.BufferAckMsg(
-                viewid=self.cur_viewid, acked_ts=self.applied_ts, mid=self.mymid
+                viewid=self.cur_viewid,
+                acked_ts=self.applied_ts,
+                mid=self.mymid,
+                sent_at=sent_at,
             ),
         )
 
@@ -535,14 +606,26 @@ class Cohort(Actor):
         self.set_timer(self.config.im_alive_interval * (0.5 + jitter), self._heartbeat)
 
     def _heartbeat(self) -> None:
+        batch = self.config.batch
+        suppress = batch.enabled and batch.piggyback_liveness
         for peer, address in self.configuration:
-            if peer != self.mymid:
-                self.send(
-                    address,
-                    m.ImAliveMsg(
-                        mid=self.mymid, viewid=self.cur_viewid, sent_at=self.sim.now
-                    ),
-                )
+            if peer == self.mymid:
+                continue
+            if suppress:
+                last = self._last_liveness_sent.get(peer)
+                if (
+                    last is not None
+                    and self.sim.now - last < 0.5 * self.config.im_alive_interval
+                ):
+                    # Buffer traffic to this peer recently carried sent_at;
+                    # the explicit heartbeat would be redundant.
+                    continue
+            self.send(
+                address,
+                m.ImAliveMsg(
+                    mid=self.mymid, viewid=self.cur_viewid, sent_at=self.sim.now
+                ),
+            )
         if self.status is Status.ACTIVE:
             self._liveness_sweep()
         self.set_timer(self.config.im_alive_interval, self._heartbeat)
@@ -657,16 +740,42 @@ class Cohort(Actor):
         self.client_role.on_leave_active()
         self.coordinator_role.on_leave_active()
 
+    def _buffer_send(self, mid: int, message) -> None:
+        """Buffer transmission hook: notes liveness-carrying sends."""
+        if self.config.batch.enabled and self.config.batch.piggyback_liveness:
+            self._last_liveness_sent[mid] = self.sim.now
+        self.send_mid(mid, message)
+
     def _open_buffer(self) -> None:
+        batch = self.config.batch
+        trace = None
+        if self.tracer is not None and batch.enabled:
+            tracer = self.tracer
+
+            def trace(kind: str, **data) -> None:
+                tracer.emit(
+                    kind,
+                    node=self.node.node_id,
+                    group=self.mygroupid,
+                    mid=self.mymid,
+                    **data,
+                )
+
         self.buffer = CommunicationBuffer(
             viewid=self.cur_viewid,
             backups=self.cur_view.backups,
             configuration_size=self.config_size,
-            send=self.send_mid,
+            send=self._buffer_send,
             set_timer=self.set_timer,
             on_force_failure=self.note_change_needed,
             force_timeout=self.config.force_timeout,
+            max_batch=batch.max_batch,
             retain_all=self.config.unilateral_edits,
+            batch_enabled=batch.enabled,
+            flush_delay=batch.flush_interval,
+            pipeline_depth=batch.pipeline_depth,
+            clock=lambda: self.sim.now,
+            trace=trace,
         )
 
     def _start_flush_loop(self) -> None:
@@ -768,15 +877,7 @@ class Cohort(Actor):
         for aid in self.pending:
             for viewstamp in sorted(self.pending[aid]):
                 for effect in self.pending[aid][viewstamp].effects:
-                    obj = self.store.ensure(effect.uid)
-                    info = obj.lockers.get(aid)
-                    if info is None:
-                        from repro.txn.objects import LockInfo
-
-                        info = LockInfo(kind=effect.kind)
-                        obj.lockers[aid] = info
-                    if effect.kind == WRITE:
-                        info.kind = WRITE
+                    info = self.lockmgr.materialize(effect.uid, aid, effect.kind)
                     for subaction, value in effect.writes:
                         from repro.txn.objects import TentativeWrite
 

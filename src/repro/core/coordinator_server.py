@@ -110,7 +110,12 @@ class CoordinatorServerRole:
     def _abort_external(self, aid: Aid, pset_pairs) -> None:
         cohort = self.cohort
         groups = {pair.groupid for pair in pset_pairs}
-        for groupid in groups:
+        for groupid in sorted(groups):
+            if cohort.config.batch.enabled and groupid == cohort.mygroupid:
+                # Own-group participant: abort synchronously instead of
+                # mailing ourselves (mirrors ClientRole._abort_txn).
+                cohort.server_role.on_abort(m.AbortMsg(aid=aid))
+                continue
             entry = cohort.cache.get(groupid)
             if entry is not None:
                 cohort.send(entry.primary_address, m.AbortMsg(aid=aid))

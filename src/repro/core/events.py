@@ -42,6 +42,10 @@ class ObjectEffect:
 class EventRecord:
     """Base class; ``kind`` mirrors the paper's record-name strings."""
 
+    # Records are immutable once buffered yet re-shipped on every flush, so
+    # repro.net.messages interns their wire size on first estimate.
+    _size_cacheable = True
+
     @property
     def kind(self) -> str:
         return type(self).KIND  # type: ignore[attr-defined]

@@ -173,20 +173,29 @@ class BufferMsg(Message):
 
     ``records`` holds ``(ts, record)`` pairs starting just above the
     backup's last cumulative ack, so retransmission is implicit.
+
+    ``sent_at`` is stamped in batched mode so buffer traffic doubles as an
+    I'm-alive beacon (the receiver feeds its failure detector from it and
+    the sender suppresses the redundant heartbeat).
     """
 
     viewid: ViewId
     records: Tuple[Tuple[int, EventRecord], ...]
     primary_ts: int
+    sent_at: Optional[float] = None
 
 
 @dataclasses.dataclass(slots=True)
 class BufferAckMsg(Message):
-    """Backup -> primary: cumulative ack of applied timestamps."""
+    """Backup -> primary: cumulative ack of applied timestamps.
+
+    ``sent_at`` serves the same piggybacked-liveness role as on
+    :class:`BufferMsg` (batched mode only)."""
 
     viewid: ViewId
     acked_ts: int
     mid: int
+    sent_at: Optional[float] = None
 
 
 # ---------------------------------------------------------------------------

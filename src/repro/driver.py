@@ -14,13 +14,62 @@ truth the harness reports from).
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, Optional, Tuple
+import warnings
+from typing import Any, Dict, NamedTuple, Optional, Tuple
 
 from repro.core import messages as m
 from repro.core.cache import ClientCache
 from repro.detect import Backoff, RttEstimator
 from repro.sim.future import Future
 from repro.sim.node import Actor, Node
+
+
+class CallFailed(Exception):
+    """Raised by :meth:`CallResult.unwrap` on a non-committed outcome."""
+
+    def __init__(self, result: "CallResult"):
+        super().__init__(f"transaction did not commit: {result.status}")
+        self.result = result
+
+
+class CallResult(NamedTuple):
+    """Typed outcome of one :meth:`Driver.call`.
+
+    A NamedTuple on purpose: legacy callers that unpack the old bare
+    ``(status, value)`` pair keep working unchanged, while new code reads
+    ``result.committed`` / ``result.value`` or uses :meth:`unwrap`.
+
+    ``status`` is one of:
+
+    - ``"committed"`` -- the transaction committed; ``value`` is the
+      program's result.
+    - ``"aborted"`` -- the transaction definitely aborted; ``value`` is
+      ``None``.
+    - ``"unknown"`` -- the group was unreachable for the whole retry
+      budget; the attempt may or may not have committed (the transaction
+      ledger is the ground truth).
+    """
+
+    status: str
+    value: Any = None
+
+    @property
+    def committed(self) -> bool:
+        return self.status == "committed"
+
+    @property
+    def aborted(self) -> bool:
+        return self.status == "aborted"
+
+    @property
+    def unknown(self) -> bool:
+        return self.status == "unknown"
+
+    def unwrap(self) -> Any:
+        """Return ``value``, raising :class:`CallFailed` unless committed."""
+        if self.status != "committed":
+            raise CallFailed(self)
+        return self.value
 
 
 @dataclasses.dataclass
@@ -54,23 +103,56 @@ class Driver(Actor):
 
     # -- API ----------------------------------------------------------------
 
-    def submit(
+    def call(
         self,
-        groupid: str,
+        target: Any,
         program: str,
         *args: Any,
         retries: int = 8,
         timeout: Optional[float] = None,
     ) -> Future:
-        """Run *program* at *groupid*; resolves to (outcome, result).
+        """Run *program* at *target*; resolves to a :class:`CallResult`.
 
-        Outcome is "committed", "aborted", or "unknown" (the group was
-        unreachable for the whole retry budget).  ``timeout`` is the wait
-        per attempt before re-probing and retrying; it defaults to twice
-        the protocol's call timeout.
+        The one submission surface.  *target* may be:
+
+        - a plain groupid string -- the request goes to that group's
+          primary (the old ``submit``);
+        - a :class:`~repro.shard.facade.ShardedGroup`, or the name of one
+          registered on the runtime -- the façade's shard map routes
+          key-addressed programs to the owning shard (the old
+          ``submit_keyed``).
+
+        The returned future resolves to a :class:`CallResult` (a
+        ``(status, value)`` NamedTuple, so tuple unpacking still works).
+        ``timeout`` is the wait per attempt before re-probing and
+        retrying; it defaults to twice the protocol's call timeout.
         """
+        groupid, program, args = self._route(target, program, tuple(args))
+        return self._call_group(
+            groupid, program, args, retries=retries, timeout=timeout
+        )
+
+    def _route(self, target: Any, program: str, args: Tuple) -> Tuple[str, str, Tuple]:
+        """Resolve *target* to (groupid, program, args), via a sharded
+        façade when the target is one (by instance or registered name)."""
+        if isinstance(target, str):
+            sharded = self.runtime.sharded.get(target)
+            if sharded is None:
+                return target, program, args
+        else:
+            sharded = target
+        return sharded.route(program, args, origin=self)
+
+    def _call_group(
+        self,
+        groupid: str,
+        program: str,
+        args: Tuple,
+        retries: int = 8,
+        timeout: Optional[float] = None,
+    ) -> Future:
         if timeout is not None and timeout <= 0:
-            raise ValueError(f"submit() timeout must be > 0, got {timeout!r}")
+            raise ValueError(f"call() timeout must be > 0, got {timeout!r}")
         self._next_request += 1
         if timeout is not None:
             per_attempt = timeout  # explicit user choice stays verbatim
@@ -113,6 +195,26 @@ class Driver(Actor):
         self._send(request)
         return request.future
 
+    # -- deprecated shims (external callers only; src/ uses call()) ----------
+
+    def submit(
+        self,
+        groupid: str,
+        program: str,
+        *args: Any,
+        retries: int = 8,
+        timeout: Optional[float] = None,
+    ) -> Future:
+        """Deprecated: use :meth:`call` with a groupid target."""
+        warnings.warn(
+            "Driver.submit() is deprecated; use Driver.call()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._call_group(
+            groupid, program, tuple(args), retries=retries, timeout=timeout
+        )
+
     def submit_keyed(
         self,
         sharded,
@@ -121,21 +223,20 @@ class Driver(Actor):
         retries: int = 8,
         timeout: Optional[float] = None,
     ) -> Future:
-        """Key-addressed submit through a sharded façade.
-
-        *sharded* is a :class:`~repro.shard.facade.ShardedGroup` (or its
-        name, resolved via the runtime).  The façade's shard map routes
-        single-key programs to the owning shard group's primary and
-        multi-key programs to the cross-shard router group; from there the
-        request is an ordinary :meth:`submit`.
-        """
+        """Deprecated: use :meth:`call` with the façade (or its name) as
+        the target."""
+        warnings.warn(
+            "Driver.submit_keyed() is deprecated; use Driver.call()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if isinstance(sharded, str):
             sharded = self.runtime.sharded[sharded]
         groupid, routed_program, routed_args = sharded.route(
             program, tuple(args), origin=self
         )
-        return self.submit(
-            groupid, routed_program, *routed_args, retries=retries, timeout=timeout
+        return self._call_group(
+            groupid, routed_program, routed_args, retries=retries, timeout=timeout
         )
 
     # -- transmission ----------------------------------------------------------
@@ -189,7 +290,7 @@ class Driver(Actor):
             request.timer.cancel()
             request.timer = None
         if not request.future.done:
-            request.future.set_result(("unknown", None))
+            request.future.set_result(CallResult("unknown", None))
         if self.tracer is not None:
             self.tracer.emit(
                 "txn_outcome",
@@ -221,7 +322,9 @@ class Driver(Actor):
                         request_id=message.request_id,
                         outcome=message.outcome,
                     )
-                request.future.set_result((message.outcome, message.result))
+                request.future.set_result(
+                    CallResult(message.outcome, message.result)
+                )
         elif isinstance(message, m.ViewProbeReplyMsg):
             if message.active and message.viewid is not None:
                 primary_address = self.runtime.location.primary_address(

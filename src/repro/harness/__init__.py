@@ -27,7 +27,7 @@ from repro.harness.experiments_extensions import (
 )
 from repro.harness.experiments_ablations import e15_ablations
 from repro.harness.experiments_robustness import e16_liveness
-from repro.harness.experiments_scale import e17_sharding
+from repro.harness.experiments_scale import e17_sharding, e18_batching
 
 ALL_EXPERIMENTS = {
     "E1": e01_call_overhead,
@@ -46,6 +46,7 @@ ALL_EXPERIMENTS = {
     "E15": e15_ablations,
     "E16": e16_liveness,
     "E17": e17_sharding,
+    "E18": e18_batching,
 }
 
 __all__ = [
@@ -68,4 +69,5 @@ __all__ = [
     "e15_ablations",
     "e16_liveness",
     "e17_sharding",
+    "e18_batching",
 ]

@@ -159,8 +159,8 @@ def _vr_availability(n: int, mttf: float, mttr: float, duration: float, seed: in
         index = 0
         while rt.sim.now < duration:
             index += 1
-            future = driver.submit("clients", "write", "kv", spec.key(index), index,
-                                   retries=2)
+            future = driver.call("clients", "write", "kv", spec.key(index), index,
+                                 retries=2)
             outcome, _ = yield future
             outcomes["total"] += 1
             if outcome == "committed":

@@ -48,7 +48,7 @@ def _liveness_run(
         index = 0
         while rt.sim.now < duration:
             index += 1
-            future = driver.submit(
+            future = driver.call(
                 "clients", "write", "kv", spec.key(index % spec.n_keys), index,
                 retries=2,
             )

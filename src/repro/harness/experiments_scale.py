@@ -1,4 +1,4 @@
-"""Experiment E17: scale-out by sharding over many replica groups.
+"""Experiments E17/E18: scale-out by sharding, and batched replication.
 
 The paper's transaction machinery is already multi-group (section 3.3:
 psets name every participant group, prepares validate each group's own
@@ -13,9 +13,11 @@ transactions that touched the crashed shard.
 
 from __future__ import annotations
 
-from repro import LOSSY, Nemesis
-from repro.harness.common import ExperimentResult
+from repro import LOSSY, BatchConfig, Nemesis, ProtocolConfig
+from repro.harness.common import ExperimentResult, build_kv_system
+from repro.perf.report import state_digest
 from repro.shard.workload import run_sharded_workload
+from repro.workloads.loadgen import run_retry_loop
 
 SHARD_COUNTS = (1, 2, 4, 8)
 CONDITIONS = ("clean", "lossy", "viewchange")
@@ -144,5 +146,139 @@ def e17_sharding(
             "the crashed shard), not viewstamp invalidations.  The lossy "
             "condition reruns the same seeds on the LOSSY link model "
             "(retransmissions recover; some cross-shard 2PCs abort)."
+        ),
+    )
+
+
+# -- E18: batched & pipelined replication -----------------------------------
+
+#: (label, (max_batch, pipeline_depth)); None = the unbatched baseline.
+E18_CONFIGS = (
+    ("unbatched", None),
+    ("b=8 d=1", (8, 1)),
+    ("b=64 d=2", (64, 2)),
+    ("b=256 d=4", (256, 4)),
+)
+E18_CONDITIONS = ("clean", "lossy", "viewchange")
+
+
+def _batching_run(
+    seed: int,
+    condition: str,
+    batch,
+    txns: int,
+    concurrency: int,
+):
+    """One cell of the batching study; returns (metrics dict, state digest)."""
+    if batch is None:
+        batch_config = BatchConfig(enabled=False)
+    else:
+        max_batch, pipeline_depth = batch
+        batch_config = BatchConfig(
+            enabled=True,
+            max_batch=max_batch,
+            flush_interval=0.5,
+            pipeline_depth=pipeline_depth,
+        )
+    config = ProtocolConfig(batch=batch_config)
+    link = LOSSY if condition == "lossy" else None
+    rt, _kv, _clients, driver, spec = build_kv_system(
+        seed=seed, n_cohorts=3, n_keys=txns, config=config, link=link
+    )
+    if condition == "viewchange":
+        # Crash the kv primary mid-stream; the retry loop re-submits the
+        # writes the view change aborted, so the final state must still be
+        # byte-identical across batch configs.
+        rt.inject(
+            Nemesis().crash_primary("kv", every=150.0, count=1, recover_after=400.0)
+        )
+    jobs = [("write", ("kv", spec.key(index), index)) for index in range(txns)]
+    stats = run_retry_loop(rt, driver, "clients", jobs, concurrency=concurrency)
+    deadline = rt.sim.now + 200_000.0
+    while stats.committed < txns and rt.sim.now < deadline:
+        rt.run_for(200.0)
+    if condition == "viewchange":
+        rt.faults.stop()
+    rt.quiesce()
+    rt.check_invariants(require_convergence=False)
+    metrics = {
+        "committed": stats.committed,
+        "retries": stats.aborted + stats.unknown,
+        "messages": rt.network.messages_sent_total,
+        "view_changes": len(rt.ledger.view_changes_for("kv")),
+        "sim_time": rt.sim.now,
+    }
+    return metrics, state_digest(rt)
+
+
+def e18_batching(
+    seed: int = 1801,
+    txns: int = 160,
+    concurrency: int = 16,
+) -> ExperimentResult:
+    rows = []
+    for condition in E18_CONDITIONS:
+        base_messages = None
+        base_digest = None
+        for label, batch in E18_CONFIGS:
+            metrics, digest = _batching_run(seed, condition, batch, txns, concurrency)
+            if batch is None:
+                base_messages = metrics["messages"]
+                base_digest = digest
+            rows.append(
+                (
+                    condition,
+                    label,
+                    metrics["committed"],
+                    metrics["retries"],
+                    metrics["messages"],
+                    round(metrics["messages"] / metrics["committed"], 1),
+                    round(base_messages / metrics["messages"], 2)
+                    if base_messages
+                    else float("nan"),
+                    metrics["view_changes"],
+                    "yes" if digest == base_digest else "NO",
+                )
+            )
+    return ExperimentResult(
+        exp_id="E18",
+        title="batched & pipelined replication vs the paper's unbatched path",
+        claim=(
+            "Section 3.7: 'careful engineering is needed here to provide "
+            "both speedy delivery and small numbers of messages' -- the "
+            "communication buffer may coalesce event records and "
+            "acknowledgements without changing what the protocol computes. "
+            "Batching (BatchConfig.enabled) must cut messages per committed "
+            "call while leaving the final replicated state byte-identical "
+            "to the unbatched baseline, on clean, lossy, and mid-stream "
+            "view-change schedules alike."
+        ),
+        headers=[
+            "condition",
+            "config",
+            "committed",
+            "retried",
+            "messages",
+            "msgs/txn",
+            "msg reduction",
+            "view changes",
+            "state == unbatched",
+        ],
+        rows=rows,
+        notes=(
+            "One seed, 160 distinct-key writes retried until committed "
+            "(idempotent, so the final state is schedule-independent and "
+            "comparable across configs by sha256 state digest).  "
+            "'b=N d=K' is BatchConfig(max_batch=N, pipeline_depth=K, "
+            "flush_interval=0.5); 'msg reduction' is total network "
+            "messages relative to the unbatched run of the same "
+            "condition.  The viewchange condition crashes the kv primary "
+            "at t=150 and recovers it 400 later; retried counts the "
+            "extra attempts the crash (or loss) aborted.  On a clean LAN "
+            "the win is ack coalescing plus per-tick flush coalescing; "
+            "under loss the reduction shrinks and smaller batches fare "
+            "slightly better, because go-back-N rewinds re-send at most "
+            "one window and a larger max_batch makes that window (and "
+            "each redundant resend) bigger."
         ),
     )

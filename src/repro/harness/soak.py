@@ -60,7 +60,7 @@ def run_soak(seed: int = 2026, duration: float = 15_000.0,
         index = 0
         while rt.sim.now < duration:
             index += 1
-            future = driver.submit(
+            future = driver.call(
                 "clients", "update", "kv", spec.key(index % spec.n_keys),
                 retries=2,
             )

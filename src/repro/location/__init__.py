@@ -1,5 +1,15 @@
 """The location service (paper section 3)."""
 
-from repro.location.service import LocationService, primary_address_in
+from repro.location.service import (
+    Configuration,
+    GroupNotFound,
+    LocationService,
+    primary_address_in,
+)
 
-__all__ = ["LocationService", "primary_address_in"]
+__all__ = [
+    "Configuration",
+    "GroupNotFound",
+    "LocationService",
+    "primary_address_in",
+]

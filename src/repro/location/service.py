@@ -18,6 +18,22 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, Optional, Tuple
 
+#: One configuration: the group's (mid, address) members, in mid order as
+#: registered.  Every lookup method returns this shape per group.
+Configuration = Tuple[Tuple[int, str], ...]
+
+
+class GroupNotFound(KeyError):
+    """A strict lookup named a groupid the service has never registered.
+
+    Subclasses :class:`KeyError` so legacy ``except KeyError`` handlers
+    keep working; carries the offending ``groupid`` for programmatic use.
+    """
+
+    def __init__(self, groupid: str):
+        super().__init__(f"unknown group {groupid!r}")
+        self.groupid = groupid
+
 
 def primary_address_in(configuration: Iterable[Tuple[int, str]], view) -> Optional[str]:
     """The address of *view*'s primary within a (mid, address) configuration."""
@@ -33,11 +49,21 @@ class LocationService:
     """Maps groupids to configurations ((mid, address) pairs).
 
     Many groups coexist (every shard of a sharded key space is its own
-    group), so the lookup API distinguishes the strict single-group path
-    (:meth:`lookup`, which raises on an unknown groupid -- a caller bug)
-    from the tolerant multi-group paths (:meth:`try_lookup`,
-    :meth:`lookup_many`, :meth:`primary_address`) used by message
-    handlers that key off a groupid carried in a reply.
+    group), so the lookup API offers one contract at two strictness
+    levels, all returning the same per-group shape (a
+    :data:`Configuration`, i.e. a tuple of (mid, address) pairs):
+
+    - :meth:`lookup` -- strict: raises :class:`GroupNotFound` on a miss.
+      Use when an unknown groupid is a caller bug.
+    - :meth:`try_lookup` -- tolerant: returns ``None`` on a miss.  Use in
+      message handlers keyed off a groupid carried in a reply, which may
+      be stale or forged by a fault schedule.
+    - :meth:`lookup_many` -- batch form of the same choice: strict mode
+      raises :class:`GroupNotFound` for the first missing groupid,
+      tolerant mode (the default) silently omits missing groups.
+
+    Misses never return sentinel configurations (no empty tuples): a miss
+    is always either ``None``/omission or :class:`GroupNotFound`.
 
     The service also publishes versioned :class:`~repro.shard.map.ShardMap`
     values: a republish must strictly increase the version, so a stale
@@ -59,24 +85,37 @@ class LocationService:
             raise ValueError(f"group {groupid!r} registered an empty configuration")
         self._configurations[groupid] = configuration
 
-    def lookup(self, groupid: str) -> Tuple[Tuple[int, str], ...]:
-        if groupid not in self._configurations:
-            raise KeyError(f"unknown group {groupid!r}")
-        return self._configurations[groupid]
+    def lookup(self, groupid: str) -> Configuration:
+        """The configuration of *groupid*; raises :class:`GroupNotFound`
+        if it was never registered."""
+        configuration = self._configurations.get(groupid)
+        if configuration is None:
+            raise GroupNotFound(groupid)
+        return configuration
 
-    def try_lookup(self, groupid: str) -> Optional[Tuple[Tuple[int, str], ...]]:
-        """The configuration of *groupid*, or None if it is not registered."""
+    def try_lookup(self, groupid: str) -> Optional[Configuration]:
+        """The configuration of *groupid*, or ``None`` if it is not
+        registered.  Never raises on a miss."""
         return self._configurations.get(groupid)
 
     def lookup_many(
-        self, groupids
-    ) -> Dict[str, Tuple[Tuple[int, str], ...]]:
-        """Configurations for every *registered* groupid among *groupids*."""
-        return {
-            groupid: self._configurations[groupid]
-            for groupid in groupids
-            if groupid in self._configurations
-        }
+        self, groupids: Iterable[str], strict: bool = False
+    ) -> Dict[str, Configuration]:
+        """Configurations keyed by groupid, in *groupids* order.
+
+        With ``strict=False`` (the default) unknown groupids are omitted
+        from the result; with ``strict=True`` the first unknown groupid
+        raises :class:`GroupNotFound`, mirroring :meth:`lookup`.
+        """
+        found: Dict[str, Configuration] = {}
+        for groupid in groupids:
+            configuration = self._configurations.get(groupid)
+            if configuration is None:
+                if strict:
+                    raise GroupNotFound(groupid)
+                continue
+            found[groupid] = configuration
+        return found
 
     def primary_address(self, groupid: str, view) -> Optional[str]:
         """The registered address of *view*'s primary, or None if the

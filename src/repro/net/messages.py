@@ -9,6 +9,11 @@ This module is on the per-message hot path (every send runs ``byte_size``),
 so it avoids repeated ``dataclasses.fields`` reflection with a per-class
 field-name cache, and ``msg_type`` is a class attribute stamped at subclass
 creation rather than a per-access property.
+
+Event records are immutable once buffered but are re-sent many times (every
+unbatched flush re-ships the unacked suffix), so their sizes are interned:
+a dataclass whose class sets ``_size_cacheable = True`` gets its computed
+size stashed on the instance and sized as one dict lookup thereafter.
 """
 
 from __future__ import annotations
@@ -52,6 +57,18 @@ def estimate_size(value: Any) -> int:
             total += estimate_size(key) + estimate_size(item)
         return total
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        if getattr(value, "_size_cacheable", False):
+            # Frozen but slot-less dataclasses (event records) carry a
+            # __dict__; the interned size lives there, outside the declared
+            # fields, so it never feeds back into the estimate itself.
+            cached = value.__dict__.get("_wire_size")
+            if cached is not None:
+                return cached
+            total = 0
+            for name in _field_names(type(value)):
+                total += estimate_size(getattr(value, name))
+            object.__setattr__(value, "_wire_size", total)
+            return total
         total = 0
         for name in _field_names(type(value)):
             total += estimate_size(getattr(value, name))
@@ -88,10 +105,15 @@ class Message:
 
 @dataclasses.dataclass(slots=True)
 class Envelope:
-    """A message in flight: routing metadata wrapped around the payload."""
+    """A message in flight: routing metadata wrapped around the payload.
+
+    ``copies`` counts outstanding scheduled deliveries (2 when the link
+    duplicated the datagram); the network recycles the envelope through a
+    freelist once every copy has been consumed."""
 
     msg_id: int
     source: str
     destination: str
     payload: Message
     sent_at: float
+    copies: int = 1

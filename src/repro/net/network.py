@@ -55,6 +55,38 @@ class Network:
         # repro.trace attachment point; None = tracing disabled (the
         # per-message cost is then one load + ``is None`` test per hook).
         self.tracer = None
+        # Bounded envelope freelist: envelopes are recycled once every
+        # scheduled copy has been consumed, killing the per-send allocation
+        # on the hot path.
+        self._envelope_pool: list[Envelope] = []
+
+    def _acquire_envelope(self, destination: str, payload: Message, source: str) -> Envelope:
+        self._next_msg_id += 1
+        pool = self._envelope_pool
+        if pool:
+            envelope = pool.pop()
+            envelope.msg_id = self._next_msg_id
+            envelope.source = source
+            envelope.destination = destination
+            envelope.payload = payload
+            envelope.sent_at = self.sim.now
+            envelope.copies = 1
+            return envelope
+        return Envelope(
+            msg_id=self._next_msg_id,
+            source=source,
+            destination=destination,
+            payload=payload,
+            sent_at=self.sim.now,
+        )
+
+    def _release_envelope(self, envelope: Envelope) -> None:
+        envelope.copies -= 1
+        if envelope.copies > 0:
+            return  # a duplicated copy is still scheduled
+        if len(self._envelope_pool) < 256:
+            envelope.payload = None  # type: ignore[assignment]
+            self._envelope_pool.append(envelope)
 
     def perf_counters(self) -> dict:
         """Message-plane counters as a plain dict (for :mod:`repro.perf`)."""
@@ -137,14 +169,7 @@ class Network:
 
     def send(self, source: str, destination: str, payload: Message) -> None:
         """Fire-and-forget datagram send.  All loss is silent, as on a LAN."""
-        self._next_msg_id += 1
-        envelope = Envelope(
-            msg_id=self._next_msg_id,
-            source=source,
-            destination=destination,
-            payload=payload,
-            sent_at=self.sim.now,
-        )
+        envelope = self._acquire_envelope(destination, payload, source)
         self.messages_sent_total += 1
         self.metrics.on_send(payload.msg_type, payload.byte_size())
         tracer = self.tracer
@@ -158,12 +183,14 @@ class Network:
             self.metrics.on_drop(payload.msg_type)
             if tracer is not None:
                 tracer.on_drop(envelope, "source_crashed", source)
+            self._release_envelope(envelope)
             return
         if not self.can_communicate(source, destination):
             self.messages_dropped_total += 1
             self.metrics.on_drop(payload.msg_type)
             if tracer is not None:
                 tracer.on_drop(envelope, "partitioned_at_send", source)
+            self._release_envelope(envelope)
             return
 
         model = self._link_overrides.get((source, destination), self.link)
@@ -172,9 +199,11 @@ class Network:
             self.metrics.on_drop(payload.msg_type)
             if tracer is not None:
                 tracer.on_drop(envelope, "link_loss", source)
+            self._release_envelope(envelope)
             return
         self.sim.schedule(model.draw_delay(self.rng), self._deliver, envelope)
         if model.duplicates(self.rng):
+            envelope.copies = 2
             self.messages_duplicated_total += 1
             self.metrics.on_duplicate(payload.msg_type)
             self.sim.schedule(model.draw_delay(self.rng), self._deliver, envelope)
@@ -187,15 +216,18 @@ class Network:
             self.metrics.on_drop(envelope.payload.msg_type)
             if tracer is not None:
                 tracer.on_drop(envelope, "destination_down", envelope.destination)
+            self._release_envelope(envelope)
             return
         if not self.can_communicate(envelope.source, envelope.destination):
             self.messages_dropped_total += 1
             self.metrics.on_drop(envelope.payload.msg_type)
             if tracer is not None:
                 tracer.on_drop(envelope, "partitioned_in_flight", envelope.destination)
+            self._release_envelope(envelope)
             return
         if envelope.msg_id in self._delivered_ids:
             # Network-generated duplicate: suppressed per section 3.1.
+            self._release_envelope(envelope)
             return
         self._delivered_ids.add(envelope.msg_id)
         if len(self._delivered_ids) > 200_000:
@@ -206,7 +238,9 @@ class Network:
         self.messages_delivered_total += 1
         self.metrics.on_deliver(envelope.payload.msg_type)
         if tracer is None:
-            actor.handle_message(envelope.payload, envelope.source)
+            payload, source = envelope.payload, envelope.source
+            self._release_envelope(envelope)
+            actor.handle_message(payload, source)
             return
         eid = tracer.on_deliver(envelope)
         tracer.push(eid)
@@ -214,3 +248,4 @@ class Network:
             actor.handle_message(envelope.payload, envelope.source)
         finally:
             tracer.pop()
+            self._release_envelope(envelope)

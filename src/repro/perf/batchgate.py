@@ -1,0 +1,100 @@
+"""``python -m repro.perf.batchgate``: the E18 batching determinism gate.
+
+Runs one seeded distinct-key write workload under the paper-faithful
+unbatched configuration and under each batched configuration, on a clean
+and a lossy schedule, and fails unless
+
+- every run commits every write,
+- every batched run's final replicated state is byte-identical (sha256
+  state digest) to the unbatched run of the same schedule, and
+- every batched run uses strictly fewer network messages.
+
+This is CI's check that ``BatchConfig`` changes how the replication hot
+path *transmits*, never what it *computes*.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.experiments_scale import _batching_run
+
+#: (max_batch, pipeline_depth) points the gate checks, spanning the
+#: shallow and deep ends of the E18 sweep.
+GATE_CONFIGS = ((8, 1), (64, 2), (256, 4))
+GATE_CONDITIONS = ("clean", "lossy")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0], prog="python -m repro.perf.batchgate"
+    )
+    parser.add_argument("--seed", type=int, default=18)
+    parser.add_argument("--txns", type=int, default=200)
+    parser.add_argument("--concurrency", type=int, default=16)
+    args = parser.parse_args(argv)
+
+    failed = False
+    for condition in GATE_CONDITIONS:
+        reference, reference_digest = _batching_run(
+            args.seed, condition, None, args.txns, args.concurrency
+        )
+        print(
+            f"{condition:>6} unbatched: committed={reference['committed']} "
+            f"messages={reference['messages']} digest={reference_digest[:16]}..."
+        )
+        if reference["committed"] != args.txns:
+            print(
+                f"batchgate: FAIL -- {condition} unbatched committed only "
+                f"{reference['committed']}/{args.txns}",
+                file=sys.stderr,
+            )
+            failed = True
+        for max_batch, pipeline_depth in GATE_CONFIGS:
+            metrics, digest = _batching_run(
+                args.seed,
+                condition,
+                (max_batch, pipeline_depth),
+                args.txns,
+                args.concurrency,
+            )
+            label = f"b={max_batch} d={pipeline_depth}"
+            print(
+                f"{condition:>6} {label:>9}: committed={metrics['committed']} "
+                f"messages={metrics['messages']} digest={digest[:16]}..."
+            )
+            if metrics["committed"] != args.txns:
+                print(
+                    f"batchgate: FAIL -- {condition} {label} committed only "
+                    f"{metrics['committed']}/{args.txns}",
+                    file=sys.stderr,
+                )
+                failed = True
+            if digest != reference_digest:
+                print(
+                    f"batchgate: FAIL -- {condition} {label} state digest "
+                    f"diverged from unbatched:\n  {reference_digest}\n  {digest}",
+                    file=sys.stderr,
+                )
+                failed = True
+            if metrics["messages"] >= reference["messages"]:
+                print(
+                    f"batchgate: FAIL -- {condition} {label} used "
+                    f"{metrics['messages']} messages, not fewer than the "
+                    f"unbatched {reference['messages']}",
+                    file=sys.stderr,
+                )
+                failed = True
+    if failed:
+        return 1
+    print(
+        f"batchgate: OK ({len(GATE_CONDITIONS)} schedules x "
+        f"{len(GATE_CONFIGS)} batch configs, state byte-identical to "
+        "unbatched, fewer messages everywhere)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -55,6 +55,32 @@ def ledger_digest(runtime) -> str:
     return hashlib.sha256("\n".join(parts).encode()).hexdigest()
 
 
+def state_digest(runtime) -> str:
+    """Deterministic sha256 over the final replicated *application state*.
+
+    Unlike :func:`ledger_digest`, this covers only what the paper's safety
+    argument promises survives any schedule: each group's committed base
+    values (uid -> value at the active primary).  It deliberately excludes
+    event counts, clocks, versions, and aids, all of which legitimately
+    differ between two runs that commit the same transactions along
+    different schedules -- e.g. a batched and an unbatched run of the same
+    workload.  Two configs that disagree here lost, duplicated, or
+    reordered conflicting writes.
+    """
+    parts = []
+    for groupid in sorted(runtime.groups):
+        primary = runtime.groups[groupid].active_primary()
+        if primary is None:
+            parts.append(f"{groupid}: no active primary")
+            continue
+        store = primary.store
+        items = sorted(
+            (uid, repr(store.get(uid).base)) for uid in store.uids()
+        )
+        parts.append(f"{groupid}: {items!r}")
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
+
 @dataclasses.dataclass
 class PerfReport:
     """Measured numbers for one scenario run."""

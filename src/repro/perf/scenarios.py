@@ -18,6 +18,16 @@ Six scenarios spanning the regimes the roadmap cares about:
 - ``sharded_routing``: the E17 shape -- the canonical sharded workload
   (single-key seq_puts plus cross-shard transfers) over a 4-shard
   façade; regression-gates the routing layer and cross-group 2PC.
+- ``batching_throughput`` / ``batching_pipeline``: the E18 shapes -- a
+  deep-concurrency distinct-key write flood over a WAN-ish link, run
+  twice per pass (``BatchConfig(enabled=False)`` then ``enabled=True``)
+  with identical seeds.  The two runs must commit every transaction and
+  agree byte-for-byte on the final replicated state
+  (:func:`repro.perf.report.state_digest`); the batched/unbatched
+  events-per-wall-second and txns-per-wall-second ratios land in
+  ``extra``.  ``batching_pipeline`` additionally sets ``force_on_call``
+  (the section 6 "speedy delivery" ablation), the regime where per-call
+  forces make unbatched flushes most redundant.
 
 Every scenario is deterministic given its pinned seed; ``quick`` scales the
 workload down for CI without changing its shape.
@@ -96,7 +106,7 @@ def _lossy_storm(quick: bool):
         index = 0
         while rt.sim.now < duration:
             index += 1
-            future = driver.submit(
+            future = driver.call(
                 "clients", "write", "kv", spec.key(index % spec.n_keys), index,
                 retries=2,
             )
@@ -163,6 +173,94 @@ def _trace_overhead(quick: bool):
     return rt_off
 
 
+def _batching_compare(
+    quick: bool,
+    seed: int,
+    concurrency: int,
+    txns: int,
+    force_on_call: bool,
+    base_delay: float = 8.0,
+):
+    """Shared body of the two E18 scenarios: the same seeded workload with
+    batching off, then on.  Every job writes a distinct key, so the final
+    replicated state is schedule-independent and the two configs must agree
+    on it exactly -- the speedup measurement doubles as the batching safety
+    check.  Returns the batched runtime; the cross-config ratios go to
+    ``perf_extra``."""
+    from repro.config import BatchConfig, ProtocolConfig
+    from repro.net.link import LinkModel
+    from repro.perf.report import state_digest
+
+    count = txns if not quick else max(200, txns // 4)
+    link = LinkModel(base_delay=base_delay, jitter=0.2)
+
+    def one(enabled: bool):
+        config = ProtocolConfig(
+            force_on_call=force_on_call,
+            batch=BatchConfig(
+                enabled=enabled,
+                max_batch=2048,
+                flush_interval=0.5,
+                pipeline_depth=4,
+            ),
+        )
+        rt, _kv, _clients, driver, spec = build_kv_system(
+            seed=seed, n_cohorts=3, n_keys=count, config=config, link=link
+        )
+        jobs = [("write", ("kv", spec.key(i), i)) for i in range(count)]
+        started = time.perf_counter()
+        stats = run_closed_loop(
+            rt, driver, "clients", jobs, concurrency=concurrency
+        )
+        drain(rt, stats, count, step=50.0, max_time=2_000_000)
+        rt.quiesce()
+        elapsed = time.perf_counter() - started
+        if stats.committed != count:
+            raise AssertionError(
+                f"batching compare (enabled={enabled}): committed "
+                f"{stats.committed}/{count}"
+            )
+        return rt, stats, elapsed
+
+    rt_plain, stats_plain, wall_plain = one(False)
+    rt_batched, stats_batched, wall_batched = one(True)
+    digest_plain = state_digest(rt_plain)
+    digest_batched = state_digest(rt_batched)
+    if digest_plain != digest_batched:
+        raise AssertionError(
+            "batching compare: final state diverged "
+            f"({digest_plain[:12]} != {digest_batched[:12]})"
+        )
+    rate_plain = rt_plain.sim.events_processed / max(wall_plain, 1e-9)
+    rate_batched = rt_batched.sim.events_processed / max(wall_batched, 1e-9)
+    txn_plain = stats_plain.committed / max(wall_plain, 1e-9)
+    txn_batched = stats_batched.committed / max(wall_batched, 1e-9)
+    rt_batched.perf_extra = {
+        "events_per_sec_unbatched": round(rate_plain, 1),
+        "events_per_sec_batched": round(rate_batched, 1),
+        "speedup_events_per_sec": round(rate_batched / rate_plain, 2),
+        "txn_per_sec_unbatched": round(txn_plain, 1),
+        "txn_per_sec_batched": round(txn_batched, 1),
+        "speedup_txn_per_sec": round(txn_batched / txn_plain, 2),
+        "messages_unbatched": rt_plain.network.messages_sent_total,
+        "messages_batched": rt_batched.network.messages_sent_total,
+        "state_digest": digest_batched,
+    }
+    return rt_batched
+
+
+def _batching_throughput(quick: bool):
+    return _batching_compare(
+        quick, seed=1818, concurrency=640, txns=2000, force_on_call=False
+    )
+
+
+def _batching_pipeline(quick: bool):
+    return _batching_compare(
+        quick, seed=1819, concurrency=768, txns=2000, force_on_call=True
+    )
+
+
 def _sharded_routing(quick: bool):
     txns = 60 if quick else 160
     rt, _sharded, _stats = run_sharded_workload(
@@ -191,6 +289,8 @@ SCENARIOS: List[Scenario] = [
     Scenario("chaos_soak", 2026, "call_latency:kv", _chaos_soak),
     Scenario("trace_overhead", 4242, "call_latency:kv", _trace_overhead),
     Scenario("sharded_routing", 1717, "call_latency:kv-s0", _sharded_routing),
+    Scenario("batching_throughput", 1818, "call_latency:kv", _batching_throughput),
+    Scenario("batching_pipeline", 1819, "call_latency:kv", _batching_pipeline),
 ]
 
 

@@ -63,7 +63,10 @@ class Node:
     """A fail-stop machine hosting zero or more actors."""
 
     #: Compact the timer/process bookkeeping lists once they exceed this many
-    #: entries (dropping cancelled timers and finished processes).
+    #: entries (dropping cancelled timers and finished processes).  The
+    #: working threshold doubles with the surviving population after each
+    #: sweep, so a node with N genuinely-live timers pays amortized O(1)
+    #: per set_timer instead of O(N) once N crosses a fixed limit.
     _PRUNE_THRESHOLD = 64
 
     def __init__(self, sim: Simulator, node_id: str):
@@ -74,6 +77,8 @@ class Node:
         self.actors: list[Actor] = []
         self._timers: list[Timer] = []
         self._processes: list[Process] = []
+        self._timer_prune_at = self._PRUNE_THRESHOLD
+        self._process_prune_at = self._PRUNE_THRESHOLD
         self.crash_count = 0
 
     def attach(self, actor: Actor) -> None:
@@ -112,16 +117,22 @@ class Node:
 
         timer = self.sim.schedule(delay, guarded)
         self._timers.append(timer)
-        if len(self._timers) > self._PRUNE_THRESHOLD:
+        if len(self._timers) > self._timer_prune_at:
             self._timers = [t for t in self._timers if t.active]
+            self._timer_prune_at = max(
+                self._PRUNE_THRESHOLD, 2 * len(self._timers)
+            )
         return timer
 
     def spawn(self, generator: Generator, name: str = "") -> Process:
         """Run a process that is interrupted if the node crashes."""
         process = spawn(self.sim, generator, name=name or f"proc@{self.node_id}")
         self._processes.append(process)
-        if len(self._processes) > self._PRUNE_THRESHOLD:
+        if len(self._processes) > self._process_prune_at:
             self._processes = [p for p in self._processes if not p.done]
+            self._process_prune_at = max(
+                self._PRUNE_THRESHOLD, 2 * len(self._processes)
+            )
         return process
 
     # -- failure injection -----------------------------------------------------

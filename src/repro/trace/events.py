@@ -42,6 +42,8 @@ EVENT_KINDS: Dict[str, str] = {
     "fault": "a FaultController action executed",
     # replication core (core/cohort.py, core/view_change.py)
     "record_added": "an event record entered a cohort's history",
+    "batch_flush": "a batched-mode flush tick shipped coalesced BufferMsgs",
+    "ack_coalesce": "a backup sent one cumulative ack covering several BufferMsgs",
     "primary_activated": "a cohort became the active primary of a view",
     "newview_installed": "an underling installed a newview record",
     "view_manager": "a cohort became view manager and sent invites",

@@ -42,6 +42,13 @@ class LockManager:
     def __init__(self, store: ObjectStore):
         self.store = store
         self._wait_queues: Dict[str, List[_Waiter]] = {}
+        # Reverse index: aid -> uids it holds locks on, in acquisition
+        # order (dict used as an ordered set).  Keeps the per-transaction
+        # lifecycle methods (release_reads/install/discard) O(locks held)
+        # instead of O(store size), which dominates profiles on large
+        # keyspaces.  Invariant: uid in _held[aid]  <=>  aid in
+        # store.get(uid).lockers.
+        self._held: Dict[Any, Dict[str, None]] = {}
 
     # -- acquisition -----------------------------------------------------------
 
@@ -61,7 +68,7 @@ class LockManager:
         # requests, or writers starve.  A request only bypasses the queue if
         # the queue is empty or the request is a re-entrant/upgrade claim.
         if self._grantable(obj, aid, kind) and (not queue or aid in obj.lockers):
-            self._grant(obj, aid, kind)
+            self._grant(uid, obj, aid, kind)
             future.set_result(None)
             return future
         self._wait_queues.setdefault(uid, []).append(
@@ -83,12 +90,13 @@ class LockManager:
             return all(info.kind == READ for info in holders.values())
         return False
 
-    def _grant(self, obj, aid: Any, kind: str) -> None:
+    def _grant(self, uid: str, obj, aid: Any, kind: str) -> None:
         info = obj.lockers.get(aid)
         if info is None:
             obj.lockers[aid] = LockInfo(kind=kind)
         elif kind == WRITE and info.kind == READ:
             info.kind = WRITE
+        self._held.setdefault(aid, {})[uid] = None
 
     def _pump(self, uid: str) -> None:
         """Grant the longest compatible prefix of the wait queue."""
@@ -102,7 +110,7 @@ class LockManager:
             head = queue[0]
             if self._grantable(obj, head.aid, head.kind):
                 queue.pop(0)
-                self._grant(obj, head.aid, head.kind)
+                self._grant(uid, obj, head.aid, head.kind)
                 head.future.set_result(None)
                 granted_any = True
         if not queue:
@@ -129,12 +137,18 @@ class LockManager:
 
     def release_reads(self, aid: Any) -> None:
         """Drop pure read locks at prepare time (Figure 3)."""
-        for uid in list(self.store.uids()):
+        held = self._held.get(aid)
+        if not held:
+            return
+        for uid in list(held):
             obj = self.store.get(uid)
             info = obj.lockers.get(aid)
             if info is not None and info.kind == READ:
                 del obj.lockers[aid]
+                del held[uid]
                 self._pump(uid)
+        if not held:
+            del self._held[aid]
 
     def install(self, aid: Any) -> list[str]:
         """Commit: tentative versions become base; locks released.
@@ -142,7 +156,7 @@ class LockManager:
         Returns the uids whose base version changed.
         """
         changed = []
-        for uid in list(self.store.uids()):
+        for uid in self._held.pop(aid, ()):
             obj = self.store.get(uid)
             info = obj.lockers.pop(aid, None)
             if info is None:
@@ -162,7 +176,7 @@ class LockManager:
         transaction's own queued request.
         """
         self.cancel_waits(aid)
-        for uid in list(self.store.uids()):
+        for uid in self._held.pop(aid, ()):
             obj = self.store.get(uid)
             if obj.lockers.pop(aid, None) is not None:
                 self._pump(uid)
@@ -173,9 +187,8 @@ class LockManager:
         Locks stay with the transaction (Argus semantics: subactions of one
         transaction share its lock family), so the retried call can proceed.
         """
-        for uid in list(self.store.uids()):
-            obj = self.store.get(uid)
-            info = obj.lockers.get(aid)
+        for uid in self._held.get(aid, ()):
+            info = self.store.get(uid).lockers.get(aid)
             if info is not None:
                 info.drop_subaction(subaction)
 
@@ -204,15 +217,34 @@ class LockManager:
 
     def locks_held_by(self, aid: Any) -> Dict[str, str]:
         held = {}
-        for uid in self.store.uids():
+        for uid in self._held.get(aid, ()):
             info = self.store.get(uid).lockers.get(aid)
             if info is not None:
                 held[uid] = info.kind
         return held
 
+    def materialize(self, uid: str, aid: Any, kind: str) -> LockInfo:
+        """Directly install a lock without queueing (view-change replay).
+
+        Used when a new primary rebuilds lock state from surviving records
+        (section 3.7): those locks were granted under 2PL before the view
+        change, so installing them cannot conflict.  Keeps the reverse
+        index consistent, unlike writing ``obj.lockers`` directly.
+        """
+        obj = self.store.ensure(uid)
+        info = obj.lockers.get(aid)
+        if info is None:
+            info = LockInfo(kind=kind)
+            obj.lockers[aid] = info
+        if kind == WRITE:
+            info.kind = WRITE
+        self._held.setdefault(aid, {})[uid] = None
+        return info
+
     def reset(self) -> None:
         """Drop all lock state (used when installing a newview gstate)."""
         self.store.clear_locks()
+        self._held.clear()
         for queue in self._wait_queues.values():
             for waiter in queue:
                 waiter.future.cancel()

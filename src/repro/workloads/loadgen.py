@@ -94,7 +94,7 @@ def run_keyed_loop(
     """Closed-loop load through a sharded façade's key-addressed routing.
 
     Like :func:`run_closed_loop`, but each (program, args) job is routed
-    by the façade's shard map via :meth:`Driver.submit_keyed`, and every
+    by the façade's shard map via :meth:`Driver.call`, and every
     outcome is recorded with the shards the job touched.
     """
     if stats is None:
@@ -109,7 +109,7 @@ def run_keyed_loop(
         for program, args in job_iter:
             shards = sharded.touched_shards(program, tuple(args))
             submitted_at = sim.now
-            outcome, _result = yield driver.submit_keyed(sharded, program, *args)
+            outcome, _result = yield driver.call(sharded, program, *args)
             stats.latencies.append(sim.now - submitted_at)
             stats.results.append((program, shards, outcome))
             if outcome == "committed":
@@ -153,7 +153,7 @@ def run_closed_loop(
 
         for program, args in job_iter:
             submitted_at = sim.now
-            outcome, _result = yield driver.submit(groupid, program, *args)
+            outcome, _result = yield driver.call(groupid, program, *args)
             stats.latencies.append(sim.now - submitted_at)
             if outcome == "committed":
                 stats.committed += 1
@@ -167,4 +167,49 @@ def run_closed_loop(
 
     for index in range(concurrency):
         spawn(sim, worker(), name=f"loadgen-{index}")
+    return stats
+
+
+def run_retry_loop(
+    runtime,
+    driver,
+    groupid: str,
+    jobs: Iterable[Tuple[str, tuple]],
+    concurrency: int = 1,
+    max_attempts: int = 25,
+    stats: Optional[ClosedLoopStats] = None,
+) -> ClosedLoopStats:
+    """Closed loop that retries every job until it commits.
+
+    Used by the cross-config determinism checks: with an
+    every-write-eventually-commits workload of idempotent distinct-key
+    writes, the *final replicated state* is independent of the schedule
+    (loss, view changes, batching), so two configs can be compared by
+    state digest even when they abort different interim attempts.
+    ``stats.committed`` counts jobs (each exactly once); aborted/unknown
+    count the extra attempts that were retried.
+    """
+    if stats is None:
+        stats = ClosedLoopStats()
+    stats.started_at = runtime.sim.now
+    job_iter = iter(list(jobs))
+    sim = runtime.sim
+
+    def worker():
+        for program, args in job_iter:
+            submitted_at = sim.now
+            for _attempt in range(max_attempts):
+                outcome, _result = yield driver.call(groupid, program, *args)
+                if outcome == "committed":
+                    stats.committed += 1
+                    break
+                elif outcome == "aborted":
+                    stats.aborted += 1
+                else:
+                    stats.unknown += 1
+            stats.latencies.append(sim.now - submitted_at)
+            stats.finished_at = sim.now
+
+    for index in range(concurrency):
+        spawn(sim, worker(), name=f"retry-loadgen-{index}")
     return stats

@@ -1,0 +1,26 @@
+"""API hygiene: src/ must not call its own deprecated shims.
+
+Mirrors the CI lint step so the failure shows up in a local test run too:
+``Driver.submit`` / ``Driver.submit_keyed`` exist only for external
+callers; everything under ``src/repro`` goes through ``Driver.call``.
+"""
+
+import pathlib
+import re
+
+SRC = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+SHIM_CALL = re.compile(r"\.submit(_keyed)?\(")
+
+
+def test_src_does_not_use_deprecated_submit_shims():
+    hits = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path.name == "driver.py":
+            continue  # the shims themselves live here
+        for number, line in enumerate(path.read_text().splitlines(), 1):
+            if SHIM_CALL.search(line):
+                hits.append(f"{path.relative_to(SRC)}:{number}: {line.strip()}")
+    assert not hits, (
+        "deprecated Driver.submit()/submit_keyed() used in src/ "
+        "(use Driver.call()):\n" + "\n".join(hits)
+    )

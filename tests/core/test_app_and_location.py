@@ -3,7 +3,7 @@
 import pytest
 
 from repro import EmptyModule, ModuleSpec, Runtime, procedure, transaction_program
-from repro.location.service import LocationService
+from repro.location.service import GroupNotFound, LocationService
 from repro.net.messages import estimate_size
 
 
@@ -99,6 +99,10 @@ def test_location_empty_configuration_rejected():
 
 def test_location_unknown_raises():
     location = LocationService()
+    with pytest.raises(GroupNotFound) as excinfo:
+        location.lookup("missing")
+    assert excinfo.value.groupid == "missing"
+    # GroupNotFound subclasses KeyError, so legacy handlers still catch it.
     with pytest.raises(KeyError):
         location.lookup("missing")
 
@@ -116,6 +120,27 @@ def test_location_lookup_many_skips_unknown_groups():
     location.register("b", ((0, "b/0"), (1, "b/1")))
     found = location.lookup_many(["a", "missing", "b"])
     assert found == {"a": ((0, "a/0"),), "b": ((0, "b/0"), (1, "b/1"))}
+    # Order of the result follows the request order, not insertion order.
+    assert list(location.lookup_many(["b", "a"])) == ["b", "a"]
+
+
+def test_location_lookup_many_strict_raises_on_first_miss():
+    location = LocationService()
+    location.register("a", ((0, "a/0"),))
+    assert location.lookup_many(["a"], strict=True) == {"a": ((0, "a/0"),)}
+    with pytest.raises(GroupNotFound) as excinfo:
+        location.lookup_many(["a", "missing", "also-missing"], strict=True)
+    assert excinfo.value.groupid == "missing"
+
+
+def test_location_lookup_shapes_agree():
+    """All lookup paths return the identical per-group configuration shape."""
+    location = LocationService()
+    configuration = ((0, "g/0"), (1, "g/1"))
+    location.register("g", configuration)
+    assert location.lookup("g") == configuration
+    assert location.try_lookup("g") == configuration
+    assert location.lookup_many(["g"])["g"] == configuration
 
 
 def test_location_primary_address_tolerates_unknown():

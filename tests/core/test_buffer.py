@@ -20,7 +20,16 @@ def record(n=0):
 class Harness:
     """Captures sends and drives timers for one buffer under test."""
 
-    def __init__(self, backups=(1, 2), config_size=3, force_timeout=50.0):
+    def __init__(
+        self,
+        backups=(1, 2),
+        config_size=3,
+        force_timeout=50.0,
+        batch_enabled=False,
+        max_batch=64,
+        flush_delay=1.0,
+        pipeline_depth=1,
+    ):
         self.sim = Simulator()
         self.sent = []  # (mid, message)
         self.force_failures = 0
@@ -32,7 +41,21 @@ class Harness:
             set_timer=lambda delay, fn, *a: self.sim.schedule(delay, fn, *a),
             on_force_failure=self._on_failure,
             force_timeout=force_timeout,
+            batch_enabled=batch_enabled,
+            max_batch=max_batch,
+            flush_delay=flush_delay,
+            pipeline_depth=pipeline_depth,
+            clock=lambda: self.sim.now,
         )
+
+    def records_to(self, mid):
+        """Every record ts shipped to *mid*, in send order (with repeats)."""
+        return [
+            ts
+            for sent_mid, message in self.sent
+            if sent_mid == mid
+            for ts, _record in message.records
+        ]
 
     def _on_failure(self):
         self.force_failures += 1
@@ -232,3 +255,116 @@ def test_unforced_count():
     assert h.buffer.unforced_count == 2
     h.ack(1, 1)
     assert h.buffer.unforced_count == 1
+
+
+# -- batched transmission mode (BatchConfig) --------------------------------
+
+
+def batched(**kwargs):
+    kwargs.setdefault("batch_enabled", True)
+    return Harness(**kwargs)
+
+
+def test_batched_add_defers_send_until_flush_tick():
+    h = batched(flush_delay=1.0)
+    for n in range(1, 4):
+        h.buffer.add(record(n))
+    assert h.sent == []  # nothing ships synchronously
+    h.sim.run(until=1.0)
+    # One coalesced BufferMsg per backup carrying all three records.
+    assert sorted(mid for mid, _m in h.sent) == [1, 2]
+    assert h.records_to(1) == [1, 2, 3]
+    assert h.records_to(2) == [1, 2, 3]
+
+
+def test_batched_tick_ships_only_new_records():
+    h = batched()
+    h.buffer.add(record(1))
+    h.buffer.add(record(2))
+    h.sim.run(until=1.0)
+    h.sent.clear()
+    # No ack yet, but the send high-water mark remembers what shipped:
+    # the next tick carries only the new suffix, not a full resend.
+    h.buffer.add(record(3))
+    h.sim.run(until=2.0)
+    assert h.records_to(1) == [3]
+    assert h.records_to(2) == [3]
+
+
+def test_batched_window_stalls_at_pipeline_limit():
+    h = batched(max_batch=2, pipeline_depth=2)
+    for n in range(1, 11):
+        h.buffer.add(record(n))
+    h.sim.run(until=20.0)
+    # Unacked, each backup gets at most pipeline_depth * max_batch = 4
+    # records, then the sender stalls.
+    assert h.records_to(1) == [1, 2, 3, 4]
+    assert h.records_to(2) == [1, 2, 3, 4]
+    # A cumulative ack opens the window and the pipe refills.
+    h.sent.clear()
+    h.ack(1, 4)
+    h.sim.run(until=40.0)
+    assert h.records_to(1) == [5, 6, 7, 8]
+    assert h.records_to(2) == []
+
+
+def test_batched_go_back_n_rewinds_stalled_backup():
+    h = batched(max_batch=8)
+    for n in range(1, 4):
+        h.buffer.add(record(n))
+    h.sim.run(until=1.0)
+    assert h.records_to(1) == [1, 2, 3]
+    h.sent.clear()
+    # Backup 2 acked everything; backup 1's traffic was lost (no ack).
+    h.ack(2, 3)
+    # First background sweep only records per-backup ack progress ...
+    h.buffer.flush()
+    h.sim.run(until=2.0)
+    # ... the second sees backup 1's ack unmoved with records outstanding,
+    # rewinds its send mark to the ack, and re-sends the suffix.
+    h.buffer.flush()
+    h.sim.run(until=3.0)
+    assert h.records_to(1) == [1, 2, 3]
+    assert h.records_to(2) == []  # fully-acked backup is left alone
+
+
+def test_batched_cumulative_ack_resolves_every_covered_force():
+    h = batched()
+    vs1 = h.buffer.add(record(1))
+    vs2 = h.buffer.add(record(2))
+    f1 = h.buffer.force_to(vs1)
+    f2 = h.buffer.force_to(vs2)
+    assert not f1.done and not f2.done
+    # One cumulative ack covering both timestamps resolves both forces.
+    h.ack(1, 2)
+    assert f1.done and f2.done
+
+
+def test_batched_ack_regression_does_not_rewind_send_mark():
+    h = batched()
+    for n in range(1, 4):
+        h.buffer.add(record(n))
+    h.sim.run(until=1.0)
+    h.ack(1, 3)
+    h.sent.clear()
+    # A stale (lower) cumulative ack must not move progress backwards
+    # or trigger redundant resends.
+    h.ack(1, 1)
+    assert h.buffer.acked[1] == 3
+    h.buffer.flush()
+    h.sim.run(until=2.0)
+    assert h.records_to(1) == []
+
+
+def test_batched_ack_advances_send_mark_past_lost_sends():
+    h = batched(max_batch=1, pipeline_depth=1)
+    h.buffer.add(record(1))
+    h.buffer.add(record(2))
+    h.sim.run(until=5.0)  # window of 1: only ts=1 ships unacked
+    assert h.records_to(1) == [1]
+    # The backup learned ts=2 some other way (e.g. a rewound resend raced
+    # a late ack): the ack fast-forwards the send mark, no resend of 1-2.
+    h.sent.clear()
+    h.ack(1, 2)
+    h.sim.run(until=10.0)
+    assert h.records_to(1) == []

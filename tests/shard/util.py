@@ -18,7 +18,7 @@ def build_sharded(seed=11, n_shards=4, name="kv", settle=150.0, trace=None,
 
 def submit(rt, driver, sharded, program, *args, time=800.0, retries=8):
     """Submit one key-addressed job and run until it resolves."""
-    future = driver.submit_keyed(sharded, program, *args, retries=retries)
+    future = driver.call(sharded, program, *args, retries=retries)
     rt.run_for(time)
     assert future.done, f"{program}{args!r} still pending after {time}"
     return future.result()
