@@ -51,7 +51,7 @@ from repro.location import GroupNotFound, LocationService
 from repro.net.link import LAN, LOSSY, WAN, LinkModel
 from repro.runtime import Runtime
 from repro.shard import ShardedGroup, ShardMap
-from repro.storage.stable import StableStoragePolicy
+from repro.storage.stable import DiskFault, StableStoragePolicy
 
 __version__ = "1.0.0"
 
@@ -60,6 +60,7 @@ __all__ = [
     "CallContext",
     "CallFailed",
     "CallResult",
+    "DiskFault",
     "Driver",
     "EmptyModule",
     "FaultController",

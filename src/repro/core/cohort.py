@@ -930,8 +930,16 @@ class Cohort(Actor):
         self.committing = {}
         self.cache = ClientCache()
         self.caller = RemoteCaller(self)
-        # Call round-trip history died with the process; last-heard times
-        # are kept (as before) so recent heartbeats still count as liveness.
+        # Call round-trip history died with the process.  Last-heard times
+        # within one suspect window still count as liveness evidence, but
+        # anything older is aged out: after a long downtime a pre-crash
+        # heartbeat (and the loss-stretched cadence learned from it) must
+        # not make this cohort treat a dead peer as live.
+        cutoff = self.sim.now - self.config.suspect_timeout()
+        self.detect.age_out(cutoff)
+        for peer, heard_at in self.last_heard.items():
+            if 0.0 < heard_at < cutoff:
+                self.last_heard[peer] = 0.0
         self.rtt.reset()
         self.server_role.reset()
         self.client_role.reset()

@@ -418,12 +418,54 @@ class ViewChangeController:
         cohort.history.open_view(viewid)
         write = cohort.stable.write("cur_viewid", viewid)
 
-        def on_durable(_future) -> None:
+        def on_durable(future) -> None:
             if cohort.max_viewid != viewid or not cohort.node.up:
                 return  # preempted by a higher view while writing
+            if future.exception() is not None:
+                # The viewid never became durable: activating anyway would
+                # break the recovery protocol's reliance on stable
+                # cur_viewid (section 4).  Refuse the view and retry.
+                self._on_viewid_write_failed(viewid, future.exception())
+                return
             cohort.activate_as_primary(viewid, view)
 
         write.add_done_callback(on_durable)
+
+    def _on_viewid_write_failed(self, viewid: ViewId, error) -> None:
+        """A ``cur_viewid`` stable write resolved to a failure (disk fault).
+
+        The view must not be silently accepted: a manager re-enters the
+        invitation round after a backoff (minting a fresh viewid), an
+        underling keeps waiting so its await timer can promote it.  Either
+        way the failure is counted and traced.
+        """
+        from repro.core.cohort import Status
+
+        cohort = self.cohort
+        cohort.metrics.incr(f"stable_write_failures:{cohort.mygroupid}")
+        if cohort.tracer is not None:
+            cohort.tracer.emit(
+                "stable_write_failed",
+                node=cohort.node.node_id,
+                group=cohort.mygroupid,
+                mid=cohort.mymid,
+                viewid=str(viewid),
+                key="cur_viewid",
+                error=str(error),
+            )
+        if cohort.status is Status.VIEW_MANAGER:
+            cohort.metrics.incr(f"view_formations_failed:{cohort.mygroupid}")
+            self._formed = False
+            if cohort.config.adaptive_timeouts:
+                delay = self._backoff().next()
+            else:
+                delay = cohort.config.view_retry_delay
+            self._retry_timer = cohort.set_timer(delay, self._make_invitations)
+            return
+        # Underling: stay put; re-arm the await timer if _start_view's
+        # timer sweep cancelled it, so silence still promotes us.
+        if self._await_timer is None or not self._await_timer.active:
+            self._arm_await_timer()
 
     # ------------------------------------------------------------------
     # underling: newview arriving through the buffer
@@ -442,13 +484,19 @@ class ViewChangeController:
         viewid = msg.viewid
         write = cohort.stable.write("cur_viewid", viewid)
 
-        def on_durable(_future) -> None:
+        def on_durable(future) -> None:
             self._installing = False
             if cohort.max_viewid != viewid or not cohort.node.up:
                 return
             from repro.core.cohort import Status
 
             if cohort.status is not Status.UNDERLING:
+                return
+            if future.exception() is not None:
+                # Joining the view without a durable cur_viewid would make
+                # a later recovery report a stale crash_viewid; stay an
+                # underling (the await timer still promotes us).
+                self._on_viewid_write_failed(viewid, future.exception())
                 return
             self._cancel_timers()
             cohort.install_newview(viewid, first_record)

@@ -64,6 +64,22 @@ class FailureDetector:
         """Forget all history (host crashed; volatile state is gone)."""
         self._peers = {mid: _PeerState() for mid in self._peers}
 
+    def age_out(self, cutoff: float) -> list:
+        """Forget peers whose evidence predates *cutoff*; returns their mids.
+
+        Used on crash recovery: a heartbeat heard before a long downtime is
+        not liveness evidence *now*, and a learned inter-arrival cadence
+        stretched by pre-crash loss would make post-recover suspicion far
+        too lazy.  Peers heard at or after *cutoff* keep their state (their
+        beats genuinely are recent).
+        """
+        aged = []
+        for mid, state in self._peers.items():
+            if 0.0 < state.last_heard < cutoff:
+                self._peers[mid] = _PeerState()
+                aged.append(mid)
+        return aged
+
     # -- feeding ------------------------------------------------------------
 
     def heard(self, mid: int, sent_at: Optional[float] = None) -> None:

@@ -18,20 +18,25 @@ See ``docs/FAULTS.md`` for a walkthrough.
 
 from repro.faults.controller import FaultController, InjectedFault
 from repro.faults.nemesis import (
+    AsymmetricPartitionRule,
     CrashChurnRule,
     CrashPrimaryRule,
+    DiskFaultRule,
     FaultRule,
     GroupPartitionRule,
     MuteBackupUplinksRule,
     Nemesis,
     PartitionStormRule,
     RollingRestartRule,
+    SlowNodeRule,
 )
 from repro.faults.plan import FaultPlan
 
 __all__ = [
+    "AsymmetricPartitionRule",
     "CrashChurnRule",
     "CrashPrimaryRule",
+    "DiskFaultRule",
     "FaultController",
     "FaultPlan",
     "FaultRule",
@@ -41,4 +46,5 @@ __all__ = [
     "Nemesis",
     "PartitionStormRule",
     "RollingRestartRule",
+    "SlowNodeRule",
 ]

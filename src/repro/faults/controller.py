@@ -53,6 +53,9 @@ class FaultController:
         self.timeline: List[InjectedFault] = []
         self._processes: List[Process] = []
         self._default_link = runtime.network.link
+        # Directed address pairs overridden by slow_node, per victim, so
+        # restore_node can undo exactly what slow_node did.
+        self._slow_pairs: dict = {}
 
     # -- bookkeeping --------------------------------------------------------
 
@@ -154,9 +157,7 @@ class FaultController:
         )
 
     def restore_link(self, src_address: str, dst_address: str) -> None:
-        self.runtime.network.set_link_model(
-            src_address, dst_address, self._default_link
-        )
+        self.runtime.network.clear_link_override(src_address, dst_address)
         self._record("restore_link", f"{src_address}->{dst_address}")
 
     def lossy(
@@ -182,6 +183,130 @@ class FaultController:
     def restore_links(self) -> None:
         self.runtime.network.link = self._default_link
         self._record("restore_links")
+
+    # -- asymmetric (gray) network faults ------------------------------------
+
+    def fail_link_oneway(self, src_node: str, dst_node: str) -> None:
+        """Sever only src -> dst traffic; the reverse direction still works."""
+        self.runtime.network.fail_link_oneway(src_node, dst_node)
+        self._record("fail_link_oneway", f"{src_node}->{dst_node}")
+
+    def repair_link_oneway(self, src_node: str, dst_node: str) -> None:
+        self.runtime.network.repair_link_oneway(src_node, dst_node)
+        self._record("repair_link_oneway", f"{src_node}->{dst_node}")
+
+    def isolate_oneway(self, node_id: str, direction: str = "outbound") -> None:
+        """Asymmetric partition of one node from every other node.
+
+        ``"outbound"`` silences the node (its messages vanish but it still
+        hears everyone -- it never suspects anyone while everyone suspects
+        it); ``"inbound"`` deafens it (it hears nothing but its own traffic
+        still arrives, so *it* calls view changes the rest ignore).
+        """
+        if direction not in ("outbound", "inbound"):
+            raise ValueError(f"direction must be outbound/inbound, got {direction!r}")
+        victim = self.node(node_id)
+        for other_id in self.runtime.nodes:
+            if other_id == victim.node_id:
+                continue
+            if direction == "outbound":
+                self.runtime.network.fail_link_oneway(victim.node_id, other_id)
+            else:
+                self.runtime.network.fail_link_oneway(other_id, victim.node_id)
+        self._record("isolate_oneway", f"{node_id} {direction}")
+
+    def slow_node(self, node_id: str, factor: float = 8.0) -> None:
+        """Gray failure: every link to/from *node_id* gets *factor* times the
+        default delay and jitter (no loss).  The node keeps participating --
+        just slowly enough to stall callers -- until :meth:`restore_node`."""
+        if factor < 1.0:
+            raise ValueError(f"slow factor must be >= 1.0, got {factor}")
+        victim = self.node(node_id)
+        model = dataclasses.replace(
+            self._default_link,
+            base_delay=self._default_link.base_delay * factor,
+            jitter=self._default_link.jitter * factor,
+        )
+        victim_addrs = [actor.address for actor in victim.actors]
+        other_addrs = [
+            actor.address
+            for node in self.runtime.nodes.values()
+            if node is not victim
+            for actor in node.actors
+        ]
+        pairs = []
+        for src in victim_addrs:
+            for dst in other_addrs:
+                pairs.append((src, dst))
+                pairs.append((dst, src))
+        for src, dst in pairs:
+            self.runtime.network.set_link_model(src, dst, model)
+        self._slow_pairs[node_id] = pairs
+        self._record("slow_node", f"{node_id} x{factor:g}")
+
+    def restore_node(self, node_id: str) -> None:
+        """Undo :meth:`slow_node` for *node_id* (no-op if it was not slow)."""
+        pairs = self._slow_pairs.pop(node_id, None)
+        if pairs is None:
+            return
+        for src, dst in pairs:
+            self.runtime.network.clear_link_override(src, dst)
+        self._record("restore_node", node_id)
+
+    # -- disk faults ----------------------------------------------------------
+
+    def _stores(self, node_id: str):
+        stores = self.node(node_id).stable_stores
+        if not stores:
+            raise ValueError(f"node {node_id!r} hosts no StableStore")
+        return stores
+
+    def disk_fail(self, node_id: str) -> None:
+        """Every subsequent StableStore.write on *node_id* fails with
+        :class:`~repro.storage.stable.DiskFault` (nothing persists)."""
+        for store in self._stores(node_id):
+            store.inject_fail()
+        self._record("disk_fail", node_id)
+
+    def disk_slow(self, node_id: str, factor: float = 8.0) -> None:
+        """Stretch *node_id*'s stable-write latency by *factor*."""
+        for store in self._stores(node_id):
+            store.inject_slow(factor)
+        self._record("disk_slow", f"{node_id} x{factor:g}")
+
+    def disk_torn(self, node_id: str) -> None:
+        """Arm a one-shot torn write: the next StableStore.write on
+        *node_id* persists, then the node crashes before the write is
+        acknowledged (durable-but-unacknowledged)."""
+        for store in self._stores(node_id):
+            store.arm_torn()
+        self._record("disk_torn", node_id)
+
+    def disk_heal(self, node_id: str) -> None:
+        for store in self.node(node_id).stable_stores:
+            store.heal_faults()
+        self._record("disk_heal", node_id)
+
+    # -- global heal -----------------------------------------------------------
+
+    def heal_all(self) -> None:
+        """Restore every injected disruption: partitions, failed links (both
+        kinds), per-pair link overrides (including slow_node), the
+        network-wide default link, all disk faults, and crashed nodes
+        (each recovery runs the normal crash-recovery protocol and is
+        recorded individually).  This is the full contract :meth:`heal`
+        deliberately does not provide."""
+        self.runtime.network.heal()
+        self.runtime.network.clear_link_overrides()
+        self._slow_pairs.clear()
+        self.runtime.network.link = self._default_link
+        for node in self.runtime.nodes.values():
+            for store in node.stable_stores:
+                store.heal_faults()
+        for node_id in sorted(self.runtime.nodes):
+            if not self.runtime.nodes[node_id].up:
+                self.recover(node_id)
+        self._record("heal_all")
 
     # -- declarative execution ----------------------------------------------
 

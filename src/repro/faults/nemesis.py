@@ -79,13 +79,25 @@ class CrashChurnRule(FaultRule):
     """Poisson crash/recover churn: each node independently fails with
     exponential MTTF and recovers after exponential MTTR.  ``max_down``
     caps simultaneous failures (set it to the sub-majority to keep the
-    group formable, or leave uncapped to allow catastrophes)."""
+    group formable, or leave uncapped to allow catastrophes).
+
+    ``protect_group`` adds the stronger, protocol-aware guard ``max_down``
+    alone cannot give: with the MINIMAL stable-storage policy a *recovered*
+    node contributes nothing until a view change brings it up to date, so
+    crashing the next node while the last one is still catching up can
+    leave fewer than a majority of up-to-date cohorts -- state the group
+    can never safely re-form from (it stalls forever, by design, rather
+    than lose forced commits).  With ``protect_group`` set, a crash is
+    held off unless the group would keep a majority of up, up-to-date
+    cohorts afterwards.
+    """
 
     node_ids: Sequence[str]
     mttf: float
     mttr: float
     max_down: Optional[int] = None
     rng_name: str = "crash-schedule"
+    protect_group: Optional[str] = None
     label = "crash-churn"
 
     def start(self, controller) -> None:
@@ -103,6 +115,19 @@ class CrashChurnRule(FaultRule):
             1 for node_id in self.node_ids if not controller.node(node_id).up
         )
 
+    def _crash_would_strand(self, controller, node_id: str) -> bool:
+        """Would crashing *node_id* leave ``protect_group`` without a
+        majority of up, up-to-date cohorts?"""
+        group = controller.runtime.groups[self.protect_group]
+        survivors = sum(
+            1
+            for cohort in group.cohorts.values()
+            if cohort.node.node_id != node_id
+            and cohort.node.up
+            and cohort.up_to_date
+        )
+        return survivors < group.majority_size()
+
     def _churn(self, controller, node_id: str, rng):
         node = controller.node(node_id)
         while True:
@@ -111,6 +136,10 @@ class CrashChurnRule(FaultRule):
                 continue  # hold off; too many already down
             if not node.up:
                 continue
+            if self.protect_group is not None and self._crash_would_strand(
+                controller, node_id
+            ):
+                continue  # hold off; a peer is still catching up
             controller.crash(node_id)
             yield sleep(rng.expovariate(1.0 / self.mttr))
             if node.up:
@@ -257,6 +286,126 @@ class MuteBackupUplinksRule(FaultRule):
                 controller.restore_link(victim.address, address)
 
 
+@dataclasses.dataclass
+class DiskFaultRule(FaultRule):
+    """Inject stable-storage faults on random nodes, then heal them.
+
+    Every exponential *mean_healthy* a random node's disks fail (*mode*
+    ``"fail"``: writes error), slow down (*mode* ``"slow"``: writes take
+    *slow_factor* times longer), or arm a torn write (*mode* ``"torn"``:
+    the next write persists but the node crashes unacknowledged).  Fail
+    and slow are healed after an exponential *mean_faulty*; torn victims
+    are healed and recovered after it (the crash is the fault).
+    """
+
+    node_ids: Sequence[str]
+    mean_healthy: float
+    mean_faulty: float
+    mode: str = "fail"
+    slow_factor: float = 8.0
+    rng_name: str = "disk-schedule"
+    label = "disk-faults"
+
+    def __post_init__(self):
+        if self.mode not in ("fail", "slow", "torn"):
+            raise ValueError(f"mode must be fail/slow/torn, got {self.mode!r}")
+        if not self.node_ids:
+            raise ValueError("node_ids must be non-empty")
+
+    def run(self, controller):
+        rng = controller.runtime.sim.rng.fork(self.rng_name)
+        while True:
+            yield sleep(rng.expovariate(1.0 / self.mean_healthy))
+            victim = rng.choice(list(self.node_ids))
+            if self.mode == "fail":
+                controller.disk_fail(victim)
+            elif self.mode == "slow":
+                controller.disk_slow(victim, self.slow_factor)
+            else:
+                controller.disk_torn(victim)
+            yield sleep(rng.expovariate(1.0 / self.mean_faulty))
+            controller.disk_heal(victim)
+            if self.mode == "torn" and not controller.node(victim).up:
+                controller.recover(victim)
+
+
+@dataclasses.dataclass
+class AsymmetricPartitionRule(FaultRule):
+    """One-directional outages: a random node goes mute or deaf, then heals.
+
+    Every exponential *mean_healthy* a random victim is isolated in a
+    random single direction (outbound = mute: it hears everyone, nobody
+    hears it; inbound = deaf) for an exponential *mean_partitioned*, then
+    the one-way links are repaired.  The two sides of the cut disagree
+    about who is unreachable -- the classic gray-failure trigger.
+    """
+
+    node_ids: Sequence[str]
+    mean_healthy: float
+    mean_partitioned: float
+    rng_name: str = "asymmetric-schedule"
+    label = "asymmetric-partition"
+
+    def __post_init__(self):
+        if not self.node_ids:
+            raise ValueError("node_ids must be non-empty")
+
+    def run(self, controller):
+        rng = controller.runtime.sim.rng.fork(self.rng_name)
+        while True:
+            yield sleep(rng.expovariate(1.0 / self.mean_healthy))
+            victim = rng.choice(list(self.node_ids))
+            direction = rng.choice(("outbound", "inbound"))
+            controller.isolate_oneway(victim, direction)
+            yield sleep(rng.expovariate(1.0 / self.mean_partitioned))
+            for other in self.node_ids:
+                if other == victim:
+                    continue
+                if direction == "outbound":
+                    controller.repair_link_oneway(victim, other)
+                else:
+                    controller.repair_link_oneway(other, victim)
+
+
+@dataclasses.dataclass
+class SlowNodeRule(FaultRule):
+    """Gray failure: a random node goes slow (links and disk), then recovers.
+
+    Every exponential *mean_healthy* a random victim's links are stretched
+    by *link_factor* and its stable writes by *disk_factor* for an
+    exponential *mean_slow*.  The node stays up and correct -- just slow
+    enough to drag on whoever depends on it.
+    """
+
+    node_ids: Sequence[str]
+    mean_healthy: float
+    mean_slow: float
+    link_factor: float = 8.0
+    disk_factor: float = 8.0
+    rng_name: str = "slow-schedule"
+    label = "slow-node"
+
+    def __post_init__(self):
+        if not self.node_ids:
+            raise ValueError("node_ids must be non-empty")
+        if self.link_factor < 1.0 or self.disk_factor < 1.0:
+            raise ValueError(
+                f"factors must be >= 1.0, got link={self.link_factor} "
+                f"disk={self.disk_factor}"
+            )
+
+    def run(self, controller):
+        rng = controller.runtime.sim.rng.fork(self.rng_name)
+        while True:
+            yield sleep(rng.expovariate(1.0 / self.mean_healthy))
+            victim = rng.choice(list(self.node_ids))
+            controller.slow_node(victim, self.link_factor)
+            controller.disk_slow(victim, self.disk_factor)
+            yield sleep(rng.expovariate(1.0 / self.mean_slow))
+            controller.restore_node(victim)
+            controller.disk_heal(victim)
+
+
 class Nemesis:
     """A named bundle of randomized failure rules, built fluently::
 
@@ -341,9 +490,12 @@ class Nemesis:
         mttr: float,
         max_down: Optional[int] = None,
         rng_name: str = "crash-schedule",
+        protect_group: Optional[str] = None,
     ) -> "Nemesis":
         return self.add(
-            CrashChurnRule(tuple(node_ids), mttf, mttr, max_down, rng_name)
+            CrashChurnRule(
+                tuple(node_ids), mttf, mttr, max_down, rng_name, protect_group
+            )
         )
 
     def partition_storm(
@@ -394,6 +546,62 @@ class Nemesis:
                 loss,
                 duplicate,
                 rng_name or self._stream("lossy"),
+            )
+        )
+
+    def disk_faults(
+        self,
+        node_ids: Sequence[str],
+        mean_healthy: float,
+        mean_faulty: float,
+        mode: str = "fail",
+        slow_factor: float = 8.0,
+        rng_name: Optional[str] = None,
+    ) -> "Nemesis":
+        return self.add(
+            DiskFaultRule(
+                tuple(node_ids),
+                mean_healthy,
+                mean_faulty,
+                mode,
+                slow_factor,
+                rng_name or self._stream("disk"),
+            )
+        )
+
+    def asymmetric_partition(
+        self,
+        node_ids: Sequence[str],
+        mean_healthy: float,
+        mean_partitioned: float,
+        rng_name: Optional[str] = None,
+    ) -> "Nemesis":
+        return self.add(
+            AsymmetricPartitionRule(
+                tuple(node_ids),
+                mean_healthy,
+                mean_partitioned,
+                rng_name or self._stream("asymmetric"),
+            )
+        )
+
+    def slow_node(
+        self,
+        node_ids: Sequence[str],
+        mean_healthy: float,
+        mean_slow: float,
+        link_factor: float = 8.0,
+        disk_factor: float = 8.0,
+        rng_name: Optional[str] = None,
+    ) -> "Nemesis":
+        return self.add(
+            SlowNodeRule(
+                tuple(node_ids),
+                mean_healthy,
+                mean_slow,
+                link_factor,
+                disk_factor,
+                rng_name or self._stream("slow"),
             )
         )
 

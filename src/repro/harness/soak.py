@@ -25,26 +25,34 @@ from repro.config import TraceConfig
 from repro.harness.common import build_kv_system
 from repro.sim.process import sleep, spawn
 from repro.trace.export import write_jsonl
-from repro.trace.monitors import InvariantViolation
 
 
 def run_soak(seed: int = 2026, duration: float = 15_000.0,
-             verbose: bool = True, on_runtime=None, trace=None) -> dict:
+             verbose: bool = True, on_runtime=None, trace=None,
+             liveness: bool = False) -> dict:
     """One soak run; returns summary stats, raises AssertionError on a
     safety violation, an online invariant violation (``trace`` with
-    monitors enabled), or failure to re-converge.
+    monitors enabled), a liveness violation (``liveness=True``), or
+    failure to re-converge.
 
     ``on_runtime``, if given, is called with the :class:`~repro.Runtime`
     immediately after construction -- repro.perf uses it to read kernel
     counters off the finished run without changing the return type.
     ``trace`` (a :class:`~repro.config.TraceConfig`) defaults to off so
     perf-gated soak runs keep their exact historical cost; the CLI below
-    turns monitors on by default."""
+    turns monitors on by default.  ``liveness`` arms the relaxed
+    :func:`repro.live.spec_catalog` against the KV group: the nemesis
+    pauses the windows, but every clean interval (and the healed tail)
+    must make progress or the run fails with a StallReport."""
     rt, kv, _clients, driver, spec = build_kv_system(
         seed=seed, n_cohorts=3, trace=trace
     )
     if on_runtime is not None:
         on_runtime(rt)
+    if liveness:
+        from repro.live import spec_catalog
+
+        rt.arm_liveness(spec_catalog("kv", rt.config, commits=1))
     node_ids = [node.node_id for node in kv.nodes()]
     rt.inject(
         Nemesis("soak")
@@ -114,8 +122,9 @@ def export_failure_artifacts(runtime, failure, artifact_dir: str,
                              seed: int) -> list:
     """Preserve what a CI failure needs to be diagnosed offline: the
     rendered failure, the full trace ring as JSONL, and -- for an
-    :class:`InvariantViolation` -- the causal slice that explains the
-    offending event.  Returns the paths written."""
+    :class:`InvariantViolation` or a
+    :class:`~repro.live.report.LivenessViolation` -- the causal slice
+    that explains the offending event.  Returns the paths written."""
     os.makedirs(artifact_dir, exist_ok=True)
     written = []
     report_path = os.path.join(artifact_dir, f"failure-seed{seed}.txt")
@@ -127,7 +136,8 @@ def export_failure_artifacts(runtime, failure, artifact_dir: str,
         trace_path = os.path.join(artifact_dir, f"trace-seed{seed}.jsonl")
         tracer.export_jsonl(trace_path)
         written.append(trace_path)
-    if isinstance(failure, InvariantViolation) and failure.causal_slice:
+    causal_slice = getattr(failure, "causal_slice", None)
+    if causal_slice:
         slice_path = os.path.join(
             artifact_dir, f"causal-slice-seed{seed}.jsonl"
         )
@@ -151,6 +161,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--ring-size", type=int, default=65_536)
     parser.add_argument(
+        "--liveness", action="store_true",
+        help="arm the repro.live spec catalog: the nemesis relaxes the "
+             "windows, but clean intervals and the healed tail must make "
+             "progress or the soak fails with a StallReport",
+    )
+    parser.add_argument(
         "--artifact-dir", default=None, metavar="DIR",
         help="on failure, write the failure report, the full trace JSONL, "
              "and the violation's causal slice here (CI uploads DIR)",
@@ -172,6 +188,7 @@ def main(argv=None) -> int:
         run_soak(
             seed=args.seed, duration=args.duration, trace=trace,
             on_runtime=lambda rt: captured.setdefault("rt", rt),
+            liveness=args.liveness,
         )
     except AssertionError as failure:
         print(f"SOAK FAILED: {failure}", file=sys.stderr)

@@ -1,0 +1,54 @@
+"""Liveness specs, stall diagnosis, and the nemesis coverage matrix.
+
+Safety monitors (:mod:`repro.trace`) catch the protocol doing something
+wrong; this package catches it doing *nothing*.  Three pieces:
+
+- :mod:`repro.live.specs` -- composable, window-bounded eventual-progress
+  assertions (``eventually_single_primary``, ``eventually_commits``,
+  ``view_change_converges``, ``no_livelock``) whose deadlines only charge
+  while the system is undisrupted, so a nemesis can rage without false
+  alarms but a healed system owes progress;
+- :mod:`repro.live.report` -- on a missed deadline,
+  :class:`LivenessViolation` carries a :class:`StallReport`: per-node
+  protocol state, pending timers, in-flight traffic, active disruptions
+  (named partitioned quorums included), and a bounded causal slice;
+- :mod:`repro.live.matrix` -- ``python -m repro.live`` crosses the spec
+  catalog against nemesis schedules (crash churn, lossy, partition+heal,
+  asymmetric cuts, disk faults, a slow node, and one deliberately
+  unhealable majority partition that is *required* to violate).
+
+Arm specs with :meth:`repro.Runtime.arm_liveness`; a runtime without
+armed specs pays nothing (``runtime.liveness`` stays ``None``, the
+pattern the ``liveness_overhead`` perf scenario gates).  See
+``docs/LIVENESS.md``.
+"""
+
+from repro.live.checker import LivenessChecker
+from repro.live.matrix import SCHEDULES, CellResult, Schedule, run_cell, run_matrix
+from repro.live.report import LivenessViolation, StallReport, build_stall_report
+from repro.live.specs import (
+    EventuallyCommits,
+    EventuallySinglePrimary,
+    LivenessSpec,
+    NoLivelock,
+    ViewChangeConverges,
+    spec_catalog,
+)
+
+__all__ = [
+    "CellResult",
+    "EventuallyCommits",
+    "EventuallySinglePrimary",
+    "LivenessChecker",
+    "LivenessSpec",
+    "LivenessViolation",
+    "NoLivelock",
+    "SCHEDULES",
+    "Schedule",
+    "StallReport",
+    "ViewChangeConverges",
+    "build_stall_report",
+    "run_cell",
+    "run_matrix",
+    "spec_catalog",
+]

@@ -44,6 +44,7 @@ class Network:
         self._next_msg_id = 0
         self._partition: Optional[list[Set[str]]] = None  # blocks of node ids
         self._failed_links: Set[Tuple[str, str]] = set()
+        self._failed_directed: Set[Tuple[str, str]] = set()  # (src, dst) node ids
         self._delivered_ids: Set[int] = set()
         self._link_overrides: Dict[Tuple[str, str], LinkModel] = {}
         # Plain-int totals on the per-message hot path; the per-type
@@ -52,6 +53,7 @@ class Network:
         self.messages_delivered_total = 0
         self.messages_dropped_total = 0
         self.messages_duplicated_total = 0
+        self.messages_deduped_total = 0
         # repro.trace attachment point; None = tracing disabled (the
         # per-message cost is then one load + ``is None`` test per hook).
         self.tracer = None
@@ -123,9 +125,13 @@ class Network:
         self.sim.trace("partition", blocks=[sorted(b) for b in self._partition])
 
     def heal(self) -> None:
-        """Repair all partitions and failed links."""
+        """Repair all partitions and failed links (bidirectional *and*
+        one-way).  Per-pair link-model overrides and the network-wide
+        default link are NOT restored here -- see
+        :meth:`FaultController.heal_all` for the full contract."""
         self._partition = None
         self._failed_links.clear()
+        self._failed_directed.clear()
         self.sim.trace("heal")
 
     def fail_link(self, node_a: str, node_b: str) -> None:
@@ -135,9 +141,66 @@ class Network:
     def repair_link(self, node_a: str, node_b: str) -> None:
         self._failed_links.discard(self._link_key(node_a, node_b))
 
+    def fail_link_oneway(self, src_node: str, dst_node: str) -> None:
+        """Sever only src -> dst traffic (asymmetric / gray failure):
+        dst's messages still reach src, so the two sides disagree about
+        who is unreachable."""
+        self._failed_directed.add((src_node, dst_node))
+
+    def repair_link_oneway(self, src_node: str, dst_node: str) -> None:
+        self._failed_directed.discard((src_node, dst_node))
+
     def set_link_model(self, src: str, dst: str, model: LinkModel) -> None:
         """Override link behaviour for one directed address pair."""
         self._link_overrides[(src, dst)] = model
+
+    def clear_link_override(self, src: str, dst: str) -> None:
+        """Drop one directed pair's override (back to ``self.link``).
+
+        Restoring by *removing* the entry rather than writing the default
+        model back keeps :meth:`disrupted` accurate: a healed pair no
+        longer counts as an active disruption.
+        """
+        self._link_overrides.pop((src, dst), None)
+
+    def clear_link_overrides(self) -> None:
+        """Drop every per-pair link-model override (back to ``self.link``)."""
+        self._link_overrides.clear()
+
+    # -- disruption inspection (repro.live StallReports) --------------------
+
+    def partition_blocks(self) -> Optional[list]:
+        """Current partition blocks as sorted lists, or None if healed."""
+        if self._partition is None:
+            return None
+        return [sorted(block) for block in self._partition]
+
+    def failed_links(self) -> list:
+        """Failed links as rendered strings: ``a<->b`` and ``a->b``."""
+        links = [f"{a}<->{b}" for a, b in sorted(self._failed_links)]
+        links += [f"{a}->{b}" for a, b in sorted(self._failed_directed)]
+        return links
+
+    def link_overrides(self) -> Dict[Tuple[str, str], LinkModel]:
+        return dict(self._link_overrides)
+
+    def disrupted(self, default_link: Optional[LinkModel] = None) -> bool:
+        """Whether any injected network disruption is currently active."""
+        if self._partition is not None or self._failed_links or self._failed_directed:
+            return True
+        if self._link_overrides:
+            return True
+        return default_link is not None and self.link is not default_link
+
+    def in_flight_estimate(self) -> int:
+        """Messages scheduled but not yet delivered/dropped/suppressed."""
+        return (
+            self.messages_sent_total
+            + self.messages_duplicated_total
+            - self.messages_delivered_total
+            - self.messages_dropped_total
+            - self.messages_deduped_total
+        )
 
     @staticmethod
     def _link_key(a: str, b: str) -> Tuple[str, str]:
@@ -159,6 +222,11 @@ class Network:
         if src_node is dst_node:
             return True
         if self._link_key(src_node.node_id, dst_node.node_id) in self._failed_links:
+            return False
+        if (
+            self._failed_directed
+            and (src_node.node_id, dst_node.node_id) in self._failed_directed
+        ):
             return False
         if self._partition is not None:
             if self._block_of(src_node.node_id) != self._block_of(dst_node.node_id):
@@ -227,6 +295,7 @@ class Network:
             return
         if envelope.msg_id in self._delivered_ids:
             # Network-generated duplicate: suppressed per section 3.1.
+            self.messages_deduped_total += 1
             self._release_envelope(envelope)
             return
         self._delivered_ids.add(envelope.msg_id)

@@ -173,6 +173,60 @@ def _trace_overhead(quick: bool):
     return rt_off
 
 
+def _liveness_overhead(quick: bool):
+    """The repro.live zero-cost claim, measured: the same seeded KV batch
+    with the liveness checker disarmed and armed with the full relaxed
+    spec catalog.  The disarmed pass supplies the report's events/s
+    figure and digest (so the baseline gate gates the default-off hot
+    path); the armed/disarmed ratio lands in ``extra``.  A clean run
+    must also satisfy every spec -- the armed pass raises on any
+    violation, so this scenario doubles as a no-fault liveness test."""
+    from repro.live import spec_catalog
+    from repro.perf.report import state_digest
+
+    txns = 150 if quick else 450
+
+    def one(arm: bool):
+        rt, _kv, _clients, driver, spec = build_kv_system(
+            seed=4242, n_cohorts=3
+        )
+        checker = None
+        if arm:
+            checker = rt.arm_liveness(spec_catalog("kv", rt.config, commits=1))
+        started = time.perf_counter()
+        run_kv_batch(rt, driver, spec, txns, read_fraction=0.5, concurrency=4)
+        rt.quiesce()
+        elapsed = time.perf_counter() - started
+        return rt, checker, rt.sim.events_processed / max(elapsed, 1e-9)
+
+    rt_off, _, rate_off = one(False)
+    rt_armed, checker, rate_armed = one(True)
+
+    def outcome(rt):
+        ledger = rt.ledger
+        return (
+            sorted((str(aid), at) for aid, at in ledger.committed.items()),
+            sorted((str(aid), why) for aid, why in ledger.aborted.items()),
+            state_digest(rt),
+        )
+
+    # The checker's poll ticks add simulator events, so the event-counting
+    # ledger_digest legitimately differs; what must NOT differ is anything
+    # the protocol decided.  Compare the transaction outcomes and the
+    # final replicated state instead.
+    if outcome(rt_off) != outcome(rt_armed):
+        raise AssertionError(
+            "liveness_overhead: armed run diverged from disarmed run"
+        )
+    rt_off.perf_extra = {
+        "events_per_sec_disabled": round(rate_off, 1),
+        "events_per_sec_armed": round(rate_armed, 1),
+        "armed_overhead_pct": round(100.0 * (1.0 - rate_armed / rate_off), 2),
+        "liveness_polls": checker.polls,
+    }
+    return rt_off
+
+
 def _batching_compare(
     quick: bool,
     seed: int,
@@ -288,6 +342,7 @@ SCENARIOS: List[Scenario] = [
     Scenario("lossy_view_change_storm", 1601, "call_latency:kv", _lossy_storm),
     Scenario("chaos_soak", 2026, "call_latency:kv", _chaos_soak),
     Scenario("trace_overhead", 4242, "call_latency:kv", _trace_overhead),
+    Scenario("liveness_overhead", 4242, "call_latency:kv", _liveness_overhead),
     Scenario("sharded_routing", 1717, "call_latency:kv-s0", _sharded_routing),
     Scenario("batching_throughput", 1818, "call_latency:kv", _batching_throughput),
     Scenario("batching_pipeline", 1819, "call_latency:kv", _batching_pipeline),

@@ -76,6 +76,9 @@ class Runtime:
             self.network.tracer = self.tracer
             self.sim.add_trace_hook(self.tracer.on_sim_trace)
         self.faults = FaultController(self)
+        # repro.live attachment point; None = liveness checking disabled
+        # (mirrors ``tracer``: nothing pays for the feature until armed).
+        self.liveness = None
 
     # -- factories ------------------------------------------------------------
 
@@ -182,6 +185,32 @@ class Runtime:
     def inject(self, *sources) -> "FaultController":
         """Execute fault plans / nemeses; see :mod:`repro.faults`."""
         return self.faults.execute(*sources)
+
+    # -- liveness checking --------------------------------------------------------
+
+    def arm_liveness(
+        self,
+        specs,
+        poll_interval: Optional[float] = None,
+        raise_on_violation: bool = True,
+    ):
+        """Arm window-bounded liveness specs; see :mod:`repro.live`.
+
+        Returns the :class:`~repro.live.checker.LivenessChecker`, also
+        available as ``runtime.liveness``.  Checking is pure observation:
+        an armed run follows the same trajectory as an unarmed one.
+        """
+        from repro.live.checker import LivenessChecker
+
+        if self.liveness is not None:
+            raise RuntimeError("liveness specs are already armed")
+        self.liveness = LivenessChecker(
+            self,
+            specs,
+            poll_interval=poll_interval,
+            raise_on_violation=raise_on_violation,
+        )
+        return self.liveness
 
     # -- execution --------------------------------------------------------------
 

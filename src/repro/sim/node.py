@@ -75,6 +75,9 @@ class Node:
         self.up = True
         self.incarnation = 0
         self.actors: list[Actor] = []
+        # StableStores hosted here register themselves (see repro.storage);
+        # disk state is per-machine, so disk-fault injection targets nodes.
+        self.stable_stores: list = []
         self._timers: list[Timer] = []
         self._processes: list[Process] = []
         self._timer_prune_at = self._PRUNE_THRESHOLD

@@ -1,5 +1,5 @@
 """Stable and volatile storage models (paper sections 3, 4.2)."""
 
-from repro.storage.stable import StableStore, StableStoragePolicy
+from repro.storage.stable import DiskFault, StableStore, StableStoragePolicy
 
-__all__ = ["StableStore", "StableStoragePolicy"]
+__all__ = ["DiskFault", "StableStore", "StableStoragePolicy"]

@@ -50,6 +50,7 @@ EVENT_KINDS: Dict[str, str] = {
     "invite_accepted": "a cohort accepted an invitation (underling)",
     "view_formed": "a manager's formation rule produced a view",
     "view_started": "the new primary completed start_view",
+    "stable_write_failed": "a cur_viewid stable write failed; the view was refused",
     # remote calls (core/calls.py)
     "call_start": "a remote call was issued",
     "call_reply": "a remote call's reply arrived",

@@ -1,0 +1,120 @@
+"""S3: crash recovery across the stable-storage policy spectrum.
+
+Each test runs a seeded workload to quiescence, injects crashes (one of
+them mid-view-change), lets the group converge, and then compares the
+replicated application state against a same-seed no-fault control run:
+recovery must restore *exactly* the committed state, however little of
+it was on disk (MINIMAL) or however much (ALL).
+"""
+
+
+from repro.config import ProtocolConfig
+from repro.core.cohort import Status
+from repro.harness.common import build_kv_system
+from repro.perf.report import state_digest
+from repro.storage.stable import StableStoragePolicy
+
+
+def _run_workload(rt, driver, spec, count=12):
+    futures = [
+        driver.call("clients", "write", "kv", spec.key(index % spec.n_keys),
+                    index)
+        for index in range(count)
+    ]
+    rt.run_for(1500)
+    assert all(future.done for future in futures)
+    assert all(future.result()[0] == "committed" for future in futures)
+    rt.quiesce()
+
+
+def _control_digest(seed, config=None, n_cohorts=3):
+    rt, _kv, _clients, driver, spec = build_kv_system(
+        seed=seed, n_cohorts=n_cohorts, config=config
+    )
+    rt.run_for(300)
+    _run_workload(rt, driver, spec)
+    return state_digest(rt)
+
+
+def test_minimal_recovered_backup_catches_up_via_view_change():
+    rt, kv, _clients, driver, spec = build_kv_system(seed=81)
+    rt.run_for(300)
+    _run_workload(rt, driver, spec)
+
+    primary_mid = kv.active_primary().mymid
+    victim_mid = next(mid for mid in range(3) if mid != primary_mid)
+    victim = kv.cohort(victim_mid)
+    kv.crash_cohort(victim_mid)
+    rt.run_for(200)
+    kv.recover_cohort(victim_mid)
+    # MINIMAL keeps no gstate: the recovered cohort is NOT current until a
+    # view change transfers state to it.
+    assert not victim.up_to_date
+    rt.run_for(4000)
+    assert victim.up_to_date
+    assert victim.status is Status.ACTIVE
+    rt.quiesce()
+    rt.check_invariants(require_convergence=True)
+    assert state_digest(rt) == _control_digest(81)
+
+
+def test_all_policy_recovered_backup_is_current_immediately():
+    config = ProtocolConfig(storage_policy=StableStoragePolicy.ALL)
+    rt, kv, _clients, driver, spec = build_kv_system(seed=82, config=config)
+    rt.run_for(300)
+    _run_workload(rt, driver, spec)
+
+    primary_mid = kv.active_primary().mymid
+    victim_mid = next(mid for mid in range(3) if mid != primary_mid)
+    victim = kv.cohort(victim_mid)
+    kv.crash_cohort(victim_mid)
+    rt.run_for(200)
+    kv.recover_cohort(victim_mid)
+    # ALL restored gstate from disk: current without waiting for a view.
+    assert victim.up_to_date
+    rt.run_for(2000)
+    rt.quiesce()
+    rt.check_invariants(require_convergence=True)
+    assert state_digest(rt) == _control_digest(82, config=config)
+
+
+def test_minimal_crash_during_view_change_still_converges():
+    """Crash the primary, then crash the resulting view manager before it
+    can finish forming: with five cohorts a majority stays up-to-date, so
+    the survivors form a view and the recovered pair rejoins later."""
+    rt, kv, _clients, driver, spec = build_kv_system(seed=83, n_cohorts=5)
+    rt.run_for(300)
+    _run_workload(rt, driver, spec)
+
+    primary_mid = kv.active_primary().mymid
+    kv.crash_cohort(primary_mid)
+    # Wait for some survivor to take the manager role, then kill it
+    # mid-formation (before the invitation round can complete).
+    manager_mid = None
+    for _ in range(200):
+        rt.run_for(5)
+        manager_mid = next(
+            (mid for mid in range(5)
+             if mid != primary_mid
+             and kv.cohort(mid).node.up
+             and kv.cohort(mid).status is Status.VIEW_MANAGER),
+            None,
+        )
+        if manager_mid is not None:
+            break
+    assert manager_mid is not None, "no survivor ever became view manager"
+    kv.crash_cohort(manager_mid)
+
+    rt.run_for(3000)
+    # The three remaining up-to-date cohorts are a majority of five: they
+    # must have formed a view on their own.
+    assert kv.active_primary() is not None
+
+    kv.recover_cohort(primary_mid)
+    kv.recover_cohort(manager_mid)
+    rt.run_for(6000)
+    assert kv.cohort(primary_mid).up_to_date
+    assert kv.cohort(manager_mid).up_to_date
+    rt.quiesce()
+    rt.check_invariants(require_convergence=True)
+    assert state_digest(rt) == _control_digest(83, n_cohorts=5)

@@ -1,0 +1,92 @@
+"""S2: a failed cur_viewid stable write must refuse the view, not lose it.
+
+Section 4 makes recovery depend on ``cur_viewid`` being durable before a
+view becomes active.  Under an injected disk fault the write resolves to
+a DiskFault; the manager must refuse the formation (counted in
+``stable_write_failures:<group>`` / ``view_formations_failed:<group>``,
+traced as ``stable_write_failed``) and retry, so the group stalls only
+while the disk is bad and re-forms after ``disk_heal``.
+"""
+
+
+from repro.config import TraceConfig
+from repro.harness.common import build_kv_system
+
+
+def _settle(rt, kv):
+    rt.run_for(300)
+    assert kv.active_primary() is not None
+
+
+def test_failed_viewid_write_refuses_the_view_until_disk_heals():
+    rt, kv, _clients, driver, spec = build_kv_system(seed=71)
+    _settle(rt, kv)
+    node_ids = [node.node_id for node in kv.nodes()]
+    primary_node = kv.active_primary().node.node_id
+
+    # Every surviving cohort's disk fails, then the primary dies: whoever
+    # wins the invitation round cannot persist the new cur_viewid.
+    for node_id in node_ids:
+        if node_id != primary_node:
+            rt.faults.disk_fail(node_id)
+    rt.faults.crash(primary_node)
+    rt.run_for(3000)
+
+    assert kv.active_primary() is None, "view formed without a durable viewid"
+    assert rt.metrics.counters.get("stable_write_failures:kv", 0) > 0
+    assert rt.metrics.counters.get("view_formations_failed:kv", 0) > 0
+
+    # Heal the disks (leave the old primary down): the retry loop must now
+    # succeed and the survivors form a view on their own.
+    for node_id in node_ids:
+        if node_id != primary_node:
+            rt.faults.disk_heal(node_id)
+    rt.run_for(3000)
+    primary = kv.active_primary()
+    assert primary is not None
+    assert primary.node.node_id != primary_node
+
+
+def test_stable_write_failure_is_traced():
+    trace = TraceConfig(enabled=True, ring_size=50_000)
+    rt, kv, _clients, _driver, _spec = build_kv_system(seed=72, trace=trace)
+    _settle(rt, kv)
+    node_ids = [node.node_id for node in kv.nodes()]
+    primary_node = kv.active_primary().node.node_id
+    for node_id in node_ids:
+        if node_id != primary_node:
+            rt.faults.disk_fail(node_id)
+    rt.faults.crash(primary_node)
+    rt.run_for(2000)
+
+    failures = [
+        event for event in rt.tracer.events()
+        if event.kind == "stable_write_failed"
+    ]
+    assert failures
+    assert failures[0].data["key"] == "cur_viewid"
+    assert failures[0].data["group"] == "kv"
+
+
+def test_commits_resume_after_disk_heal():
+    rt, kv, _clients, driver, spec = build_kv_system(seed=73)
+    _settle(rt, kv)
+    node_ids = [node.node_id for node in kv.nodes()]
+    primary_node = kv.active_primary().node.node_id
+    for node_id in node_ids:
+        if node_id != primary_node:
+            rt.faults.disk_fail(node_id)
+    rt.faults.crash(primary_node)
+    rt.run_for(1500)
+    for node_id in node_ids:
+        if node_id != primary_node:
+            rt.faults.disk_heal(node_id)
+    rt.run_for(2500)
+
+    future = driver.call("clients", "write", "kv", spec.key(0), 99)
+    rt.run_for(600)
+    assert future.done
+    outcome, _ = future.result()
+    assert outcome == "committed"
+    rt.quiesce()
+    rt.check_invariants(require_convergence=False)

@@ -1,0 +1,100 @@
+"""Disk fault modes on StableStore: fail, slow, torn, and healing."""
+
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.node import Node
+from repro.storage.stable import DiskFault, StableStore
+
+
+def build(latency=5.0):
+    sim = Simulator()
+    node = Node(sim, "n1")
+    return sim, node, StableStore(node, write_latency=latency)
+
+
+def test_fail_mode_errors_after_latency_and_persists_nothing():
+    sim, _node, store = build(latency=5.0)
+    store.write_immediate("key", "old")
+    store.inject_fail()
+    future = store.write("key", "new")
+    sim.run(until=4.9)
+    assert not future.done
+    sim.run(until=5.0)
+    assert future.done
+    assert isinstance(future.exception(), DiskFault)
+    # A dead write head, not a lost disk: reads still serve the old page.
+    assert store.read("key") == "old"
+
+
+def test_fail_mode_exception_names_node_and_key():
+    sim, _node, store = build()
+    store.inject_fail()
+    future = store.write("cur_viewid", 7)
+    sim.run()
+    assert future.exception().node_id == "n1"
+    assert future.exception().key == "cur_viewid"
+
+
+def test_slow_mode_multiplies_latency():
+    sim, _node, store = build(latency=5.0)
+    store.inject_slow(4.0)
+    future = store.write("key", "value")
+    sim.run(until=19.9)
+    assert not future.done
+    sim.run(until=20.0)
+    assert future.done
+    assert future.exception() is None
+    assert store.read("key") == "value"
+
+
+def test_slow_factor_below_one_rejected():
+    _sim, _node, store = build()
+    with pytest.raises(ValueError):
+        store.inject_slow(0.5)
+
+
+def test_torn_write_is_durable_but_unacknowledged():
+    sim, node, store = build(latency=6.0)
+    store.arm_torn()
+    future = store.write("key", "value")
+    sim.run()
+    # The page landed mid-latency, then the node died before the
+    # completion callback: durable but never acknowledged.
+    assert not future.done
+    assert not node.up
+    assert store.read("key") == "value"
+
+
+def test_torn_is_one_shot():
+    sim, node, store = build()
+    store.arm_torn()
+    store.write("key", "first")
+    sim.run()
+    node.recover()
+    future = store.write("key", "second")
+    sim.run()
+    assert future.done and future.exception() is None
+    assert store.read("key") == "second"
+
+
+def test_heal_faults_clears_every_mode():
+    sim, _node, store = build()
+    store.inject_fail()
+    store.inject_slow(8.0)
+    store.arm_torn()
+    assert store.faults_active() == ["fail", "slow x8", "torn-armed"]
+    store.heal_faults()
+    assert store.faults_active() == []
+    future = store.write("key", "value")
+    sim.run(until=5.0)
+    assert future.done and future.exception() is None
+
+
+def test_write_immediate_ignores_injected_faults():
+    """The UPS-backed-NVRAM path is deliberately outside the fault model."""
+    _sim, _node, store = build()
+    store.inject_fail()
+    store.write_immediate("key", "value")
+    assert store.read("key") == "value"
