@@ -1,0 +1,27 @@
+"""Experiment E19: the read serving path vs the paper's full call path.
+
+Regenerates the E19 table of EXPERIMENTS.md.
+"""
+
+from repro.harness import e19_reads
+
+from helpers import run_experiment
+
+
+def test_e19_reads(benchmark):
+    result = run_experiment(benchmark, e19_reads)
+    assert result.rows, "experiment produced no rows"
+    by_condition = {row[0]: row for row in result.rows}
+    # The performance half of the claim: leased reads must beat the full
+    # transactional path on the read-dominant workload (column 5 is the
+    # mean-latency speedup vs baseline).
+    assert by_condition["leases"][5] > 1.5, (
+        f"leased reads did not beat the call path: {by_condition['leases']}"
+    )
+    # The staleness half: backup reads stay under the configured bound.
+    from repro.config import ReadConfig
+
+    assert by_condition["backup"][8] <= ReadConfig().default_max_staleness, (
+        f"backup served a read past the staleness bound: "
+        f"{by_condition['backup']}"
+    )

@@ -43,9 +43,15 @@ from repro.app import (
     procedure,
     transaction_program,
 )
-from repro.config import BatchConfig, ProtocolConfig, TimingConfig, TraceConfig
+from repro.config import (
+    BatchConfig,
+    ProtocolConfig,
+    ReadConfig,
+    TimingConfig,
+    TraceConfig,
+)
 from repro.core import ModuleGroup, View, ViewId, Viewstamp
-from repro.driver import CallFailed, CallResult, Driver
+from repro.driver import CallFailed, CallResult, Driver, ReadResult
 from repro.faults import FaultController, FaultPlan, Nemesis
 from repro.location import GroupNotFound, LocationService
 from repro.net.link import LAN, LOSSY, WAN, LinkModel
@@ -75,6 +81,8 @@ __all__ = [
     "ModuleSpec",
     "Nemesis",
     "ProtocolConfig",
+    "ReadConfig",
+    "ReadResult",
     "Runtime",
     "ShardMap",
     "ShardedGroup",

@@ -12,14 +12,17 @@ The paper's engineering advice is encoded in the defaults:
   delivery and small numbers of messages" -- ``flush_interval`` trades
   prepare-time force stalls (E2) against background message volume.
 
-The knobs are grouped into two nested sub-configs:
+The knobs are grouped into three nested sub-configs:
 
 - :class:`TimingConfig` holds every timeout/interval, so a variant sweep
   (E16/E17/E18) can configure one object and pass it as
   ``ProtocolConfig(timing=...)``;
 - :class:`BatchConfig` holds the replication hot-path batching knobs
   (disabled by default -- ``BatchConfig()`` reproduces the paper-faithful
-  unbatched baseline).
+  unbatched baseline);
+- :class:`ReadConfig` holds the read-dominant serving path (primary
+  leases, stale-bounded backup reads, client commit-set caches; disabled
+  by default -- every read pays the full call path, as in the paper).
 
 For backwards compatibility every :class:`TimingConfig` knob is *also* a
 flat field on :class:`ProtocolConfig` (``ProtocolConfig(call_timeout=60)``
@@ -105,6 +108,54 @@ class BatchConfig:
     def window(self) -> int:
         """In-flight record window per backup (records, not messages)."""
         return max(1, self.pipeline_depth) * max(1, self.max_batch)
+
+
+@dataclasses.dataclass
+class ReadConfig:
+    """The read-dominant serving path (see docs/READS.md).
+
+    ``ReadConfig()`` (``enabled=False``) is the paper-faithful baseline:
+    every read is a full transaction through the primary's event buffer
+    and nothing below exists on the wire.  With ``enabled=True``:
+
+    - the primary answers :class:`~repro.core.messages.ReadMsg` requests
+      from committed state *locally* while it holds a quorum lease --
+      grants piggyback on the I'm-alive/buffer-ack traffic the backups
+      already send, and every view formation carries the acceptors'
+      outstanding promise bounds so a new primary defers activation until
+      any lease a prior primary could still hold has expired;
+    - backups answer reads from their applied prefix, tagged with the
+      viewstamp they reflect, iff the prefix's staleness is within the
+      request's ``max_staleness`` bound;
+    - drivers may keep a Wren-style commit-set cache of ``(key, value,
+      timestamp)`` entries pruned against a stable-timestamp watermark.
+
+    Safety does not depend on clocks being synchronized -- the simulator's
+    clock is global -- but it does depend on ``lease_duration`` staying
+    below the time a partitioned primary keeps serving after its grants
+    stop renewing, which is exactly what the grant expiries encode.
+    """
+
+    #: Master switch; False reproduces the read-through-the-call-path
+    #: protocol exactly (the ``reads is None`` hot path, perf-gated by
+    #: the ``lease_overhead`` scenario).
+    enabled: bool = False
+    #: How far ahead a grant (and therefore a promise) extends.  Must
+    #: comfortably exceed ``im_alive_interval`` so heartbeat-carried
+    #: renewals keep a healthy lease alive, and should stay below
+    #: ``underling_timeout`` so lease waits do not dominate view changes.
+    lease_duration: float = 30.0
+    #: Backups answer stale-bounded reads from their applied prefix.
+    backup_reads: bool = True
+    #: Bound used when a read request does not carry its own.
+    default_max_staleness: float = 50.0
+    #: Drivers keep a commit-set cache (Wren-style) of read/write results.
+    client_cache: bool = False
+    #: Cache watermark window: entries with timestamp older than
+    #: ``now - cache_staleness`` are pruned (``t >= lst`` survives).
+    cache_staleness: float = 25.0
+    #: Commit-set entries kept per driver (oldest evicted beyond this).
+    cache_capacity: int = 1024
 
 
 #: Names of the knobs mirrored between TimingConfig and ProtocolConfig.
@@ -226,10 +277,13 @@ class ProtocolConfig:
     # -- nested sub-configs (canonical home of the knobs above) --
     timing: Optional[TimingConfig] = None
     batch: Optional[BatchConfig] = None
+    reads: Optional[ReadConfig] = None
 
     def __post_init__(self) -> None:
         if self.batch is None:
             self.batch = BatchConfig()
+        if self.reads is None:
+            self.reads = ReadConfig()
         if self.timing is None:
             self.timing = TimingConfig(
                 **{name: getattr(self, name) for name in _TIMING_FIELDS}

@@ -44,6 +44,7 @@ from repro.core.events import (
 from repro.core.view import View, majority
 from repro.core.viewstamp import History, ViewId, Viewstamp
 from repro.detect import AdaptiveTimeouts, FailureDetector, RttEstimator
+from repro.reads.lease import ReadState
 from repro.sim.future import Future
 from repro.sim.node import Actor, Node
 from repro.storage.stable import StableStoragePolicy, StableStore
@@ -102,6 +103,13 @@ class Cohort(Actor):
         self.history = History([Viewstamp(initial_viewid, 0)])
         self.buffer: Optional[CommunicationBuffer] = None
         self.applied_ts = 0  # backup: highest contiguously applied ts
+
+        # -- read serving path (repro.reads; None = paper-faithful) --
+        self.reads: Optional[ReadState] = (
+            ReadState(config.reads, len(configuration), lambda: self.sim.now)
+            if config.reads is not None and config.reads.enabled
+            else None
+        )
 
         # -- gstate --
         self.store = ObjectStore()
@@ -234,8 +242,18 @@ class Cohort(Actor):
                 if message.mid in self.last_heard:
                     self.last_heard[message.mid] = self.sim.now
                     self.detect.heard(message.mid, sent_at=message.sent_at)
+            if (
+                self.reads is not None
+                and message.lease_until is not None
+                and message.viewid == self.cur_viewid
+                and self.is_active_primary
+            ):
+                self._note_lease_grant(message.mid, message.lease_until)
             if self.is_active_primary and self.buffer is not None:
                 self.buffer.on_ack(message)
+            return
+        if isinstance(message, m.ReadMsg):
+            self._handle_read(message)
             return
 
         # Replies to calls we originated are consumed in any active state.
@@ -449,6 +467,11 @@ class Cohort(Actor):
             self.last_heard[self.cur_view.primary] = self.sim.now
             self.detect.heard(self.cur_view.primary, sent_at=msg.sent_at)
         self._apply_buffer_records(msg.records)
+        if self.reads is not None and self.applied_ts >= msg.primary_ts:
+            # Caught up to the primary's high-water mark as of this send:
+            # the applied prefix is fresh (modulo one network delay, which
+            # the staleness bound's documentation accounts for).
+            self.reads.mark_fresh()
         self._ack_buffer()
 
     def _apply_buffer_records(self, records) -> None:
@@ -522,6 +545,11 @@ class Cohort(Actor):
         if batch.enabled and batch.piggyback_liveness:
             sent_at = self.sim.now
             self._last_liveness_sent[self.cur_view.primary] = self.sim.now
+        lease_until = None
+        if self.reads is not None and self.status is Status.ACTIVE:
+            # Every ack renews the read lease; under steady buffer traffic
+            # the explicit heartbeat grants are pure backup.
+            lease_until = self.reads.make_promise(self.cur_view.primary)
         self.send_mid(
             self.cur_view.primary,
             m.BufferAckMsg(
@@ -529,6 +557,7 @@ class Cohort(Actor):
                 acked_ts=self.applied_ts,
                 mid=self.mymid,
                 sent_at=sent_at,
+                lease_until=lease_until,
             ),
         )
 
@@ -598,6 +627,127 @@ class Cohort(Actor):
         )
 
     # ------------------------------------------------------------------
+    # read serving path (repro.reads; beyond the paper)
+    # ------------------------------------------------------------------
+
+    def _emit_read_event(self, kind: str, **data) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(
+                kind,
+                node=self.node.node_id,
+                group=self.mygroupid,
+                mid=self.mymid,
+                **data,
+            )
+
+    def _note_lease_grant(self, mid: int, until: float) -> None:
+        """Primary: a grant arrived piggybacked on ack/heartbeat traffic."""
+        reads = self.reads
+        reads.record_grant(mid, until)
+        if not reads.was_valid and reads.lease_valid(self.cur_view):
+            reads.was_valid = True
+            self._emit_read_event(
+                "lease_grant",
+                viewid=str(self.cur_viewid),
+                until=reads.lease_until(self.cur_view),
+            )
+
+    def _note_lease_lapse(self, reason: str) -> None:
+        """Primary-side lease validity ended (expiry or stepping down)."""
+        reads = self.reads
+        if reads is not None and reads.was_valid:
+            self._emit_read_event(
+                "lease_expire", viewid=str(self.cur_viewid), reason=reason
+            )
+        if reads is not None:
+            reads.reset_grants()
+
+    def _handle_read(self, msg: m.ReadMsg) -> None:
+        def reject(reason: str, **extra) -> None:
+            viewid, view = (None, None)
+            if self.status is Status.ACTIVE and self.up_to_date:
+                viewid, view = self.cur_viewid, self.cur_view
+            self.send(
+                msg.reply_to,
+                m.ReadRejectMsg(
+                    request_id=msg.request_id,
+                    reason=reason,
+                    groupid=self.mygroupid,
+                    viewid=viewid,
+                    view=view,
+                    **extra,
+                ),
+            )
+
+        reads = self.reads
+        if reads is None:
+            reject("reads_disabled")
+            return
+        if self.status is not Status.ACTIVE or not self.up_to_date:
+            reject("not_active")
+            return
+        if self.is_primary:
+            if not reads.lease_valid(self.cur_view):
+                if reads.was_valid:
+                    reads.was_valid = False
+                    self._emit_read_event(
+                        "lease_expire", viewid=str(self.cur_viewid), reason="expired"
+                    )
+                reject("no_lease")
+                return
+            # Linearizable local read: the lease guarantees no other
+            # primary can have committed a newer value (docs/READS.md).
+            obj = self.store.get(msg.uid) if msg.uid in self.store else None
+            ts = self.buffer.timestamp if self.buffer is not None else 0
+            self._emit_read_event(
+                "lease_read", viewid=str(self.cur_viewid), uid=msg.uid
+            )
+            self.metrics.incr(f"lease_reads:{self.mygroupid}")
+            self.send(
+                msg.reply_to,
+                m.ReadReplyMsg(
+                    request_id=msg.request_id,
+                    uid=msg.uid,
+                    value=obj.base if obj is not None else None,
+                    viewstamp=Viewstamp(self.cur_viewid, ts),
+                    mode="lease",
+                    staleness=0.0,
+                    groupid=self.mygroupid,
+                ),
+            )
+            return
+        if not reads.cfg.backup_reads:
+            reject("not_active")  # carries view info: driver redirects
+            return
+        staleness = reads.staleness()
+        bound = msg.max_staleness
+        if bound is None:
+            bound = reads.cfg.default_max_staleness
+        if staleness > bound:
+            reject("too_stale", staleness=staleness)
+            return
+        obj = self.store.get(msg.uid) if msg.uid in self.store else None
+        self._emit_read_event(
+            "stale_read",
+            viewid=str(self.cur_viewid),
+            uid=msg.uid,
+            staleness=staleness,
+        )
+        self.metrics.incr(f"backup_reads:{self.mygroupid}")
+        self.send(
+            msg.reply_to,
+            m.ReadReplyMsg(
+                request_id=msg.request_id,
+                uid=msg.uid,
+                value=obj.base if obj is not None else None,
+                viewstamp=Viewstamp(self.cur_viewid, self.applied_ts),
+                mode="backup",
+                staleness=staleness,
+                groupid=self.mygroupid,
+            ),
+        )
+
+    # ------------------------------------------------------------------
     # liveness: "I'm alive" (section 4)
     # ------------------------------------------------------------------
 
@@ -620,10 +770,26 @@ class Cohort(Actor):
                     # Buffer traffic to this peer recently carried sent_at;
                     # the explicit heartbeat would be redundant.
                     continue
+            lease_until = None
+            primary_ts = None
+            if self.reads is not None and self.status is Status.ACTIVE:
+                if self.is_primary:
+                    # Stamp the buffer's high-water mark so idle backups can
+                    # confirm their applied prefix is current (freshness).
+                    if self.buffer is not None:
+                        primary_ts = self.buffer.timestamp
+                elif peer == self.cur_view.primary:
+                    # Grant/renew the read lease to our primary: the beacon
+                    # doubles as lease traffic (no extra messages).
+                    lease_until = self.reads.make_promise(peer)
             self.send(
                 address,
                 m.ImAliveMsg(
-                    mid=self.mymid, viewid=self.cur_viewid, sent_at=self.sim.now
+                    mid=self.mymid,
+                    viewid=self.cur_viewid,
+                    sent_at=self.sim.now,
+                    lease_until=lease_until,
+                    primary_ts=primary_ts,
                 ),
             )
         if self.status is Status.ACTIVE:
@@ -634,6 +800,20 @@ class Cohort(Actor):
         previously_silent = self._is_suspect(msg.mid)
         self.last_heard[msg.mid] = self.sim.now
         self.detect.heard(msg.mid, sent_at=msg.sent_at)
+        if self.reads is not None and msg.viewid == self.cur_viewid:
+            if msg.lease_until is not None and self.is_active_primary:
+                self._note_lease_grant(msg.mid, msg.lease_until)
+            if (
+                msg.primary_ts is not None
+                and self.status is Status.ACTIVE
+                and not self.is_primary
+                and self.cur_view is not None
+                and msg.mid == self.cur_view.primary
+                and self.applied_ts >= msg.primary_ts
+            ):
+                # Our applied prefix matches the primary's buffer high-water
+                # mark as of the beacon: the prefix is fresh now.
+                self.reads.mark_fresh()
         if (
             self.status is Status.ACTIVE
             and previously_silent
@@ -733,6 +913,7 @@ class Cohort(Actor):
     def leave_active(self) -> None:
         """Stop transaction processing; abandon the buffer and calls."""
         self._epoch += 1
+        self._note_lease_lapse("left_active")
         if self.buffer is not None:
             self.buffer.close()
         self.caller.abandon_all()
@@ -800,6 +981,11 @@ class Cohort(Actor):
         self.status = Status.ACTIVE
         self.up_to_date = True
         self.applied_ts = 0
+        if self.reads is not None:
+            # A new primary starts leaseless: grants must come from the new
+            # view's backups.  Its own state is trivially fresh.
+            self.reads.reset_grants()
+            self.reads.mark_fresh()
         if self.tracer is not None:
             # Emitted before the newview record is added so the
             # single-primary monitor sees the activation even if the
@@ -855,6 +1041,11 @@ class Cohort(Actor):
         self.up_to_date = True
         self.status = Status.ACTIVE
         self.buffer = None
+        if self.reads is not None:
+            # The newview record is a snapshot of the primary's state: our
+            # prefix is fresh as of installation.
+            self.reads.reset_grants()
+            self.reads.mark_fresh()
         if self.tracer is not None:
             self.tracer.emit(
                 "newview_installed",
@@ -907,6 +1098,8 @@ class Cohort(Actor):
         self._epoch += 1
         self.status = Status.UNDERLING  # placeholder; node is down anyway
         self.up_to_date = False
+        if self.reads is not None:
+            self.reads.reset_grants()
         if self.buffer is not None:
             self.buffer.close()
             self.buffer = None
@@ -941,6 +1134,13 @@ class Cohort(Actor):
             if 0.0 < heard_at < cutoff:
                 self.last_heard[peer] = 0.0
         self.rtt.reset()
+        if self.reads is not None:
+            # Promise state was volatile: report a conservative full-duration
+            # residue at the next view change (a promise made just before
+            # the crash could still be outstanding even if recovery was
+            # quick).  Grants held as primary are simply gone.
+            self.reads.reset_grants()
+            self.reads.promise_residue()
         self.server_role.reset()
         self.client_role.reset()
         self.coordinator_role.reset()

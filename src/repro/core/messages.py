@@ -190,12 +190,16 @@ class BufferAckMsg(Message):
     """Backup -> primary: cumulative ack of applied timestamps.
 
     ``sent_at`` serves the same piggybacked-liveness role as on
-    :class:`BufferMsg` (batched mode only)."""
+    :class:`BufferMsg` (batched mode only).  ``lease_until`` is a read
+    lease grant riding the ack (reads enabled only): the sender promises
+    not to help form a view whose primary may commit writes before this
+    time without reporting the promise (see docs/READS.md)."""
 
     viewid: ViewId
     acked_ts: int
     mid: int
     sent_at: Optional[float] = None
+    lease_until: Optional[float] = None
 
 
 # ---------------------------------------------------------------------------
@@ -210,11 +214,20 @@ class ImAliveMsg(Message):
     ``sent_at`` stamps the sender's clock so the receiver's failure
     detector can derive a round-trip sample (the simulator's clock is
     global, so one-way delay doubled is exact).  Optional for
-    compatibility with hand-built messages in tests."""
+    compatibility with hand-built messages in tests.
+
+    With reads enabled (:class:`~repro.config.ReadConfig`) the beacon
+    doubles as lease traffic: a backup stamps ``lease_until`` on the copy
+    sent to its current primary (a grant renewal), and an active primary
+    stamps ``primary_ts`` -- its latest buffer timestamp -- so an idle
+    backup whose applied prefix matches stays *fresh* for stale-bounded
+    reads without any buffer traffic."""
 
     mid: int
     viewid: ViewId
     sent_at: Optional[float] = None
+    lease_until: Optional[float] = None
+    primary_ts: Optional[int] = None
 
 
 @dataclasses.dataclass(slots=True)
@@ -244,14 +257,26 @@ class AcceptMsg(Message):
     view: Optional[View] = None     # normal only: the acceptor's cur_view
     #                                 (consumed by the extended formation
     #                                 rule; the paper's rule ignores it)
+    lease_promises: Tuple[Tuple[int, float], ...] = ()  # reads enabled:
+    #                                 (grantee mid, expiry) read-lease
+    #                                 promises the acceptor may have
+    #                                 outstanding; a crashed acceptor
+    #                                 reports (-1, now + lease_duration)
+    #                                 because its promises died with it
 
 
 @dataclasses.dataclass(slots=True)
 class InitViewMsg(Message):
-    """Manager -> chosen primary: "you start view *viewid* with *view*"."""
+    """Manager -> chosen primary: "you start view *viewid* with *view*".
+
+    ``lease_bound`` (reads enabled) is the latest expiry of any lease
+    promise reported by the acceptances that formed the view and made to
+    anyone other than the chosen primary; the new primary must not
+    activate (and hence cannot commit writes) before it passes."""
 
     viewid: ViewId
     view: View
+    lease_bound: float = 0.0
 
 
 # ---------------------------------------------------------------------------
@@ -275,6 +300,58 @@ class ViewProbeReplyMsg(Message):
     viewid: Optional[ViewId]
     view: Optional[View]
     active: bool
+
+
+# ---------------------------------------------------------------------------
+# read-dominant serving path (repro.reads; beyond the paper)
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(slots=True)
+class ReadMsg(Message):
+    """Driver -> cohort: read one object's committed value.
+
+    Served locally by a primary holding a valid quorum lease, or by a
+    backup from its applied prefix when the prefix's staleness is within
+    ``max_staleness`` (None = the configured default bound).  Bypasses
+    the event buffer entirely; rejected with a :class:`ReadRejectMsg`
+    when neither mode applies."""
+
+    request_id: int
+    uid: str
+    reply_to: str
+    max_staleness: Optional[float] = None
+
+
+@dataclasses.dataclass(slots=True)
+class ReadReplyMsg(Message):
+    """A served read: the committed value, the viewstamp the serving
+    cohort's state reflects, how it was served (``lease`` at a primary,
+    ``backup`` from an applied prefix), and the staleness bound the
+    server vouches for (0.0 for leased reads)."""
+
+    request_id: int
+    uid: str
+    value: Any
+    viewstamp: Viewstamp
+    mode: str  # "lease" | "backup"
+    staleness: float
+    groupid: str
+
+
+@dataclasses.dataclass(slots=True)
+class ReadRejectMsg(Message):
+    """The cohort cannot serve the read: reads disabled, no valid lease,
+    not active, or the applied prefix is staler than the bound.  Carries
+    current view info (like :class:`ViewChangedMsg`) when known so the
+    driver can redirect without a probe."""
+
+    request_id: int
+    reason: str  # "reads_disabled" | "no_lease" | "not_active" | "too_stale"
+    groupid: str
+    viewid: Optional[ViewId] = None
+    view: Optional[View] = None
+    staleness: Optional[float] = None  # too_stale: the actual staleness
 
 
 # ---------------------------------------------------------------------------

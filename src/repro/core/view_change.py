@@ -177,6 +177,12 @@ class ViewChangeController:
 
     def _own_acceptance(self) -> m.AcceptMsg:
         cohort = self.cohort
+        lease_promises = ()
+        if cohort.reads is not None:
+            # Report outstanding read-lease promises so the formation can
+            # defer the new primary past any lease an old one could still
+            # be serving under (docs/READS.md).
+            lease_promises = cohort.reads.outstanding_promises()
         if cohort.up_to_date:
             return m.AcceptMsg(
                 viewid=cohort.max_viewid,
@@ -187,6 +193,7 @@ class ViewChangeController:
                 and cohort.cur_view.primary == cohort.mymid,
                 crash_viewid=None,
                 view=cohort.cur_view,
+                lease_promises=lease_promises,
             )
         return m.AcceptMsg(
             viewid=cohort.max_viewid,
@@ -195,6 +202,7 @@ class ViewChangeController:
             viewstamp=None,
             was_primary=False,
             crash_viewid=cohort.cur_viewid,
+            lease_promises=lease_promises,
         )
 
     # ------------------------------------------------------------------
@@ -319,11 +327,21 @@ class ViewChangeController:
             )
         if self._retry_backoff is not None and self._retry_backoff.reset():
             cohort.metrics.incr(f"backoff_resets:{cohort.mygroupid}")
+        lease_bound = 0.0
+        if cohort.reads is not None:
+            from repro.reads.lease import formation_lease_bound
+
+            lease_bound = formation_lease_bound(
+                self._responses.values(), view.primary
+            )
         if view.primary == cohort.mymid:
-            self._start_view(view)
+            self._start_view(view, lease_bound)
         else:
             cohort.send_mid(
-                view.primary, m.InitViewMsg(viewid=cohort.max_viewid, view=view)
+                view.primary,
+                m.InitViewMsg(
+                    viewid=cohort.max_viewid, view=view, lease_bound=lease_bound
+                ),
             )
             cohort.status = Status.UNDERLING
             self._arm_await_timer()
@@ -404,12 +422,17 @@ class ViewChangeController:
             return
         if cohort.status is Status.ACTIVE and cohort.cur_viewid == msg.viewid:
             return  # duplicate init for a view we already started
-        self._start_view(msg.view)
+        self._start_view(msg.view, msg.lease_bound)
 
-    def _start_view(self, view: View) -> None:
+    def _start_view(self, view: View, lease_bound: float = 0.0) -> None:
         """Figure 5 ``start_view``: open the history entry, persist the
         viewid, then activate (``activate_as_primary`` builds the newview
-        record and opens the buffer)."""
+        record and opens the buffer).
+
+        With reads enabled, activation is additionally deferred until
+        ``lease_bound`` has passed: an old primary may serve leased reads
+        until then, and this primary committing a write any earlier would
+        let a read miss it (docs/READS.md)."""
         cohort = self.cohort
         self._cancel_timers()
         viewid = cohort.max_viewid
@@ -417,6 +440,11 @@ class ViewChangeController:
         cohort.cur_viewid = viewid
         cohort.history.open_view(viewid)
         write = cohort.stable.write("cur_viewid", viewid)
+
+        def activate() -> None:
+            if cohort.max_viewid != viewid or not cohort.node.up:
+                return  # preempted by a higher view while waiting
+            cohort.activate_as_primary(viewid, view)
 
         def on_durable(future) -> None:
             if cohort.max_viewid != viewid or not cohort.node.up:
@@ -427,7 +455,23 @@ class ViewChangeController:
                 # cur_viewid (section 4).  Refuse the view and retry.
                 self._on_viewid_write_failed(viewid, future.exception())
                 return
-            cohort.activate_as_primary(viewid, view)
+            now = cohort.sim.now
+            if lease_bound > now:
+                # Grants are valid strictly before their expiry, so waiting
+                # until exactly the bound suffices.
+                if cohort.tracer is not None:
+                    cohort.tracer.emit(
+                        "lease_wait",
+                        node=cohort.node.node_id,
+                        group=cohort.mygroupid,
+                        mid=cohort.mymid,
+                        viewid=str(viewid),
+                        until=lease_bound,
+                    )
+                cohort.metrics.incr(f"lease_waits:{cohort.mygroupid}")
+                cohort.set_timer(lease_bound - now, activate)
+                return
+            activate()
 
         write.add_done_callback(on_durable)
 

@@ -72,6 +72,44 @@ class CallResult(NamedTuple):
         return self.value
 
 
+class ReadResult(NamedTuple):
+    """Typed outcome of one :meth:`Driver.read`.
+
+    ``status`` is ``"ok"`` or ``"failed"``.  ``mode`` says how the value
+    was obtained: ``"lease"`` (linearizable local read at a leased
+    primary), ``"backup"`` (stale-bounded read from a backup's applied
+    prefix), ``"cache"`` (client-side commit-set cache hit), or ``"txn"``
+    (fell back to the full transactional call path).  ``staleness`` is
+    the bound the server (or cache) vouches for -- 0.0 for lease and txn
+    reads.
+    """
+
+    status: str
+    value: Any = None
+    mode: str = "none"
+    staleness: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclasses.dataclass
+class _PendingRead:
+    request_id: int
+    groupid: str
+    uid: str
+    future: Future
+    retries_left: int
+    timeout: float
+    max_staleness: Optional[float]
+    prefer: str  # which serving mode the next attempt targets
+    #: (coordinator groupid, program, args) full-path read
+    fallback: Optional[Tuple[str, str, Tuple]]
+    timer: Any = None
+    submitted_at: float = 0.0
+
+
 @dataclasses.dataclass
 class _PendingRequest:
     request_id: int
@@ -99,6 +137,19 @@ class Driver(Actor):
         self._rng = runtime.sim.rng.fork(f"driver-backoff/{name}")
         self._requests: Dict[int, _PendingRequest] = {}
         self._next_request = 0
+        # -- read serving path (repro.reads) --
+        self._reads: Dict[int, _PendingRead] = {}
+        self._read_rng = runtime.sim.rng.fork(f"driver-reads/{name}")
+        reads_cfg = self.config.reads
+        self.read_cache = None
+        if reads_cfg is not None and reads_cfg.enabled and reads_cfg.client_cache:
+            from repro.reads.cache import CommitSetCache
+
+            self.read_cache = CommitSetCache(
+                staleness=reads_cfg.cache_staleness,
+                capacity=reads_cfg.cache_capacity,
+                clock=lambda: self.sim.now,
+            )
         runtime.network.register(self)
 
     # -- API ----------------------------------------------------------------
@@ -239,6 +290,186 @@ class Driver(Actor):
             groupid, routed_program, routed_args, retries=retries, timeout=timeout
         )
 
+    # -- reads (repro.reads serving path) -------------------------------------
+
+    def read(
+        self,
+        groupid: str,
+        uid: str,
+        *,
+        max_staleness: Optional[float] = None,
+        prefer: str = "primary",
+        fallback: Optional[Tuple[str, str, Tuple]] = None,
+        retries: int = 8,
+        timeout: Optional[float] = None,
+    ) -> Future:
+        """Read one object's committed value outside the call path.
+
+        Resolves to a :class:`ReadResult`.  *prefer* picks the first
+        serving mode tried: ``"primary"`` (leased linearizable read) or
+        ``"backup"`` (stale-bounded read, honoring *max_staleness*).
+        Rejections steer later attempts: a primary without a lease is
+        retried at a backup and a too-stale backup at the primary, so the
+        read lands wherever the group can serve it.  *fallback* is an
+        optional ``(coordinator groupid, program, args)`` triple run
+        through the full transactional call path when the fast path is
+        unavailable (e.g. reads disabled); without it such reads resolve
+        failed.
+        """
+        if prefer not in ("primary", "backup"):
+            raise ValueError(f"read() prefer must be primary|backup, got {prefer!r}")
+        self._next_request += 1
+        request = _PendingRead(
+            request_id=self._next_request,
+            groupid=groupid,
+            uid=uid,
+            future=Future(label=f"read:{uid}:{self._next_request}"),
+            retries_left=retries,
+            timeout=timeout if timeout is not None else self.config.call_timeout,
+            max_staleness=max_staleness,
+            prefer=prefer,
+            fallback=fallback,
+            submitted_at=self.sim.now,
+        )
+        if self.read_cache is not None:
+            hit = self.read_cache.lookup(uid, max_staleness)
+            if hit is not None:
+                value, staleness = hit
+                self.runtime.metrics.incr("driver_cache_reads")
+                request.future.set_result(
+                    ReadResult("ok", value, "cache", staleness)
+                )
+                return request.future
+        self._reads[request.request_id] = request
+        self._send_read(request)
+        return request.future
+
+    def note_write(self, uid: str, value: Any) -> None:
+        """Feed the commit-set cache an observed committed write (the
+        driver cannot infer written keys from a program name, so keyed
+        workloads report them here)."""
+        if self.read_cache is not None:
+            self.read_cache.note(uid, value)
+
+    def _send_read(self, request: _PendingRead) -> None:
+        entry = self.cache.get(request.groupid)
+        if entry is None:
+            self._probe(request.groupid)
+        else:
+            address = entry.primary_address
+            if request.prefer == "backup" and entry.view.backups:
+                members = dict(self.runtime.location.lookup(request.groupid))
+                backups = [
+                    members[mid] for mid in sorted(entry.view.backups)
+                    if mid in members
+                ]
+                if backups:
+                    address = self._read_rng.choice(backups)
+            self.runtime.network.send(
+                self.address,
+                address,
+                m.ReadMsg(
+                    request_id=request.request_id,
+                    uid=request.uid,
+                    reply_to=self.address,
+                    max_staleness=request.max_staleness,
+                ),
+            )
+        request.timer = self.node.set_timer(
+            request.timeout, self._on_read_timeout, request.request_id
+        )
+
+    def _on_read_timeout(self, request_id: int) -> None:
+        request = self._reads.get(request_id)
+        if request is None:
+            return
+        if request.retries_left <= 0:
+            self._reads.pop(request_id, None)
+            self._finish_read_via_fallback(request, "retries exhausted")
+            return
+        request.retries_left -= 1
+        self.cache.invalidate(request.groupid)
+        self._send_read(request)
+
+    def _finish_read_via_fallback(self, request: _PendingRead, reason: str) -> None:
+        """Fast path unavailable: run the transactional fallback, or fail."""
+        if request.timer is not None:
+            request.timer.cancel()
+            request.timer = None
+        if request.future.done:
+            return
+        if request.fallback is None:
+            request.future.set_result(ReadResult("failed", None, "none", 0.0))
+            return
+        coordinator, program, args = request.fallback
+        self.runtime.metrics.incr("driver_read_fallbacks")
+        call = self._call_group(coordinator, program, tuple(args))
+
+        def chain(future: Future) -> None:
+            if request.future.done:
+                return
+            result: CallResult = future.result()
+            if result.committed:
+                if self.read_cache is not None:
+                    self.read_cache.note(request.uid, result.value)
+                request.future.set_result(
+                    ReadResult("ok", result.value, "txn", 0.0)
+                )
+            else:
+                request.future.set_result(
+                    ReadResult("failed", None, "txn", 0.0)
+                )
+
+        call.add_done_callback(chain)
+
+    def _on_read_reply(self, message: m.ReadReplyMsg) -> None:
+        request = self._reads.pop(message.request_id, None)
+        if request is None:
+            return
+        if request.timer is not None:
+            request.timer.cancel()
+        if request.future.done:
+            return
+        latency = self.sim.now - request.submitted_at
+        self.runtime.metrics.observe("driver_read_latency", latency)
+        if self.read_cache is not None:
+            # The value was committed at least `staleness` ago.
+            self.read_cache.note(
+                message.uid, message.value, t=self.sim.now - message.staleness
+            )
+        request.future.set_result(
+            ReadResult("ok", message.value, message.mode, message.staleness)
+        )
+
+    def _on_read_reject(self, message: m.ReadRejectMsg) -> None:
+        request = self._reads.get(message.request_id)
+        if request is None:
+            return
+        if message.viewid is not None and message.view is not None:
+            self.cache.update(
+                message.groupid,
+                message.viewid,
+                message.view,
+                self.runtime.location.primary_address(message.groupid, message.view),
+            )
+        if message.reason == "reads_disabled" or request.retries_left <= 0:
+            self._reads.pop(message.request_id, None)
+            self._finish_read_via_fallback(request, message.reason)
+            return
+        request.retries_left -= 1
+        # Steer the next attempt toward whichever mode can serve: a
+        # leaseless primary suggests a backup read, a too-stale backup
+        # suggests the primary (or another backup).
+        if message.reason == "no_lease":
+            request.prefer = "backup"
+        elif message.reason in ("too_stale", "not_active"):
+            request.prefer = "primary"
+        if request.timer is not None:
+            request.timer.cancel()
+        if message.viewid is None:
+            self.cache.invalidate(request.groupid)
+        self._send_read(request)
+
     # -- transmission ----------------------------------------------------------
 
     def _send(self, request: _PendingRequest) -> None:
@@ -304,6 +535,12 @@ class Driver(Actor):
     # -- message handling ---------------------------------------------------------
 
     def handle_message(self, message, source: str) -> None:
+        if isinstance(message, m.ReadReplyMsg):
+            self._on_read_reply(message)
+            return
+        if isinstance(message, m.ReadRejectMsg):
+            self._on_read_reject(message)
+            return
         if isinstance(message, m.TxnOutcomeMsg):
             request = self._requests.pop(message.request_id, None)
             if request is None:
@@ -341,6 +578,14 @@ class Driver(Actor):
                             if request.timer is not None:
                                 request.timer.cancel()
                             self._send(request)
+                    for read in list(self._reads.values()):
+                        if (
+                            read.groupid == message.groupid
+                            and self.cache.get(read.groupid) is not None
+                        ):
+                            if read.timer is not None:
+                                read.timer.cancel()
+                            self._send_read(read)
         elif isinstance(message, m.ViewChangedMsg):
             # Our request hit a non-primary.  Use the rejection's view info
             # if it carries any, otherwise probe the group.
@@ -367,3 +612,12 @@ class Driver(Actor):
         for request in self._requests.values():
             self._resolve_unknown(request, "driver crashed")
         self._requests.clear()
+        for read in self._reads.values():
+            if read.timer is not None:
+                read.timer.cancel()
+                read.timer = None
+            if not read.future.done:
+                read.future.set_result(ReadResult("failed", None, "none", 0.0))
+        self._reads.clear()
+        if self.read_cache is not None:
+            self.read_cache.commit_set.clear()

@@ -28,6 +28,7 @@ from repro.harness.experiments_extensions import (
 from repro.harness.experiments_ablations import e15_ablations
 from repro.harness.experiments_robustness import e16_liveness
 from repro.harness.experiments_scale import e17_sharding, e18_batching
+from repro.harness.experiments_reads import e19_reads
 
 ALL_EXPERIMENTS = {
     "E1": e01_call_overhead,
@@ -47,6 +48,7 @@ ALL_EXPERIMENTS = {
     "E16": e16_liveness,
     "E17": e17_sharding,
     "E18": e18_batching,
+    "E19": e19_reads,
 }
 
 __all__ = [
@@ -70,4 +72,5 @@ __all__ = [
     "e16_liveness",
     "e17_sharding",
     "e18_batching",
+    "e19_reads",
 ]

@@ -29,7 +29,7 @@ from repro.trace.export import write_jsonl
 
 def run_soak(seed: int = 2026, duration: float = 15_000.0,
              verbose: bool = True, on_runtime=None, trace=None,
-             liveness: bool = False) -> dict:
+             liveness: bool = False, reads: bool = False) -> dict:
     """One soak run; returns summary stats, raises AssertionError on a
     safety violation, an online invariant violation (``trace`` with
     monitors enabled), a liveness violation (``liveness=True``), or
@@ -43,9 +43,17 @@ def run_soak(seed: int = 2026, duration: float = 15_000.0,
     turns monitors on by default.  ``liveness`` arms the relaxed
     :func:`repro.live.spec_catalog` against the KV group: the nemesis
     pauses the windows, but every clean interval (and the healed tail)
-    must make progress or the run fails with a StallReport."""
+    must make progress or the run fails with a StallReport.  ``reads``
+    arms the lease/backup read serving path (``ReadConfig``) and adds a
+    read prober alongside the write prober, so the ``stale_lease``
+    monitor is exercised under partitions and primary crash churn."""
+    config = None
+    if reads:
+        from repro.config import ProtocolConfig, ReadConfig
+
+        config = ProtocolConfig(reads=ReadConfig(enabled=True))
     rt, kv, _clients, driver, spec = build_kv_system(
-        seed=seed, n_cohorts=3, trace=trace
+        seed=seed, n_cohorts=3, trace=trace, config=config
     )
     if on_runtime is not None:
         on_runtime(rt)
@@ -79,6 +87,28 @@ def run_soak(seed: int = 2026, duration: float = 15_000.0,
             yield sleep(50.0)
 
     spawn(rt.sim, prober(), name="soak-prober")
+    reads_outcomes = {"ok": 0, "total": 0}
+    if reads:
+
+        def read_prober():
+            index = 0
+            while rt.sim.now < duration:
+                index += 1
+                prefer = "backup" if index % 2 == 0 else "primary"
+                future = driver.read(
+                    "kv", spec.key(index % spec.n_keys),
+                    prefer=prefer, retries=2,
+                    fallback=(
+                        "clients", "read", ("kv", spec.key(index % spec.n_keys))
+                    ),
+                )
+                result = yield future
+                reads_outcomes["total"] += 1
+                if result.ok:
+                    reads_outcomes["ok"] += 1
+                yield sleep(35.0)
+
+        spawn(rt.sim, read_prober(), name="soak-read-prober")
     rt.run(until=duration)
     rt.faults.stop()
     rt.faults.heal()
@@ -112,6 +142,17 @@ def run_soak(seed: int = 2026, duration: float = 15_000.0,
             "invite_retransmits:kv", 0
         ),
     }
+    if reads:
+        stats.update({
+            "read_probes": reads_outcomes["total"],
+            "reads_ok": reads_outcomes["ok"],
+            "lease_reads": rt.metrics.counters.get("lease_reads:kv", 0),
+            "backup_reads": rt.metrics.counters.get("backup_reads:kv", 0),
+            "read_fallbacks": rt.metrics.counters.get(
+                "driver_read_fallbacks", 0
+            ),
+            "lease_waits": rt.metrics.counters.get("lease_waits:kv", 0),
+        })
     if verbose:
         for key, value in stats.items():
             print(f"{key}: {value}")
@@ -167,6 +208,12 @@ def main(argv=None) -> int:
              "progress or the soak fails with a StallReport",
     )
     parser.add_argument(
+        "--reads", action="store_true",
+        help="arm the read serving path (primary leases + stale-bounded "
+             "backup reads) and probe it throughout, so the stale_lease "
+             "monitor is exercised under the nemesis",
+    )
+    parser.add_argument(
         "--artifact-dir", default=None, metavar="DIR",
         help="on failure, write the failure report, the full trace JSONL, "
              "and the violation's causal slice here (CI uploads DIR)",
@@ -188,7 +235,7 @@ def main(argv=None) -> int:
         run_soak(
             seed=args.seed, duration=args.duration, trace=trace,
             on_runtime=lambda rt: captured.setdefault("rt", rt),
-            liveness=args.liveness,
+            liveness=args.liveness, reads=args.reads,
         )
     except AssertionError as failure:
         print(f"SOAK FAILED: {failure}", file=sys.stderr)

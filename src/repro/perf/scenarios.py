@@ -28,6 +28,13 @@ Six scenarios spanning the regimes the roadmap cares about:
   ``extra``.  ``batching_pipeline`` additionally sets ``force_on_call``
   (the section 6 "speedy delivery" ablation), the regime where per-call
   forces make unbatched flushes most redundant.
+- ``read_throughput`` / ``lease_overhead``: the E19 shapes -- a
+  read-dominant zipfian open loop served by the full call path then by
+  the leased read path (byte-identical final state asserted, latency
+  speedup in ``extra``), and the same seeded KV batch with the lease
+  machinery armed but idle, which must schedule identically to the
+  reads-disabled run (gating ``ReadConfig``'s zero-cost-when-disabled
+  claim the way ``trace_overhead`` gates tracing's).
 
 Every scenario is deterministic given its pinned seed; ``quick`` scales the
 workload down for CI without changing its shape.
@@ -315,6 +322,123 @@ def _batching_pipeline(quick: bool):
     )
 
 
+def _read_throughput(quick: bool):
+    """The E19 shape: retry-until-commit distinct-key writes under a
+    zipfian read-dominant open loop, served by the full transactional
+    path and then by the leased-primary read path, same seed.  Every
+    write eventually commits and reads never mutate, so the two configs
+    must agree byte-for-byte on the final replicated state -- the
+    speedup measurement doubles as the read-path safety check.  The
+    leased runtime supplies the report (gating the serving path CI
+    actually runs); the cross-config latency ratios land in ``extra``."""
+    from repro.config import ProtocolConfig, ReadConfig
+    from repro.perf.report import state_digest
+    from repro.workloads.loadgen import run_open_loop, run_retry_loop
+
+    txns = 24 if quick else 48
+    duration = 600.0 if quick else 1800.0
+
+    def one(enabled: bool):
+        config = (
+            ProtocolConfig(reads=ReadConfig(enabled=True)) if enabled else None
+        )
+        rt, _kv, _clients, driver, spec = build_kv_system(
+            seed=1901, n_cohorts=3, n_keys=txns, config=config
+        )
+        started = time.perf_counter()
+        rt.run_for(60.0)
+        jobs = [("write", ("kv", spec.key(i), i)) for i in range(txns)]
+        wstats = run_retry_loop(rt, driver, "clients", jobs, concurrency=4)
+        rstats = run_open_loop(
+            rt, driver,
+            key=spec.key, n_keys=txns, duration=duration, rate=0.6,
+            read_fraction=1.0, use_read_path=enabled, name="perf-reads",
+        )
+        deadline = rt.sim.now + 100_000.0
+        while (
+            wstats.committed < txns or not rstats.drained
+        ) and rt.sim.now < deadline:
+            rt.run_for(200.0)
+        rt.quiesce()
+        elapsed = time.perf_counter() - started
+        if wstats.committed != txns:
+            raise AssertionError(
+                f"read_throughput (reads={enabled}): committed "
+                f"{wstats.committed}/{txns}"
+            )
+        return rt, rstats, elapsed
+
+    rt_plain, rstats_plain, wall_plain = one(False)
+    rt_leased, rstats_leased, wall_leased = one(True)
+    digest_plain = state_digest(rt_plain)
+    digest_leased = state_digest(rt_leased)
+    if digest_plain != digest_leased:
+        raise AssertionError(
+            "read_throughput: final state diverged "
+            f"({digest_plain[:12]} != {digest_leased[:12]})"
+        )
+    rt_leased.perf_extra = {
+        "events_per_sec_fullpath": round(
+            rt_plain.sim.events_processed / max(wall_plain, 1e-9), 1
+        ),
+        "events_per_sec_leased": round(
+            rt_leased.sim.events_processed / max(wall_leased, 1e-9), 1
+        ),
+        "read_mean_fullpath": round(rstats_plain.read_mean_latency, 3),
+        "read_mean_leased": round(rstats_leased.read_mean_latency, 3),
+        "read_latency_speedup": round(
+            rstats_plain.read_mean_latency / rstats_leased.read_mean_latency,
+            2,
+        ),
+        "reads_ok": rstats_leased.reads_ok,
+        "messages_fullpath": rt_plain.network.messages_sent_total,
+        "messages_leased": rt_leased.network.messages_sent_total,
+        "state_digest": digest_leased,
+    }
+    return rt_leased
+
+
+def _lease_overhead(quick: bool):
+    """The ReadConfig zero-cost-when-disabled claim, measured: the same
+    seeded KV batch with reads disabled and with the lease machinery
+    armed but no client issuing reads.  Grants ride existing acks and
+    heartbeats and ``ReadState`` arms no timers, so the armed-idle run
+    must schedule *identically* -- asserted on the full ledger digest,
+    event count and clock included.  The disabled pass supplies the
+    report's events/s figure and digest, so the baseline gate gates the
+    ``reads is None`` hot path; the armed/disabled ratio lands in
+    ``extra``."""
+    from repro.config import ProtocolConfig, ReadConfig
+
+    txns = 150 if quick else 450
+
+    def one(config):
+        rt, _kv, _clients, driver, spec = build_kv_system(
+            seed=4242, n_cohorts=3, config=config
+        )
+        started = time.perf_counter()
+        run_kv_batch(rt, driver, spec, txns, read_fraction=0.5, concurrency=4)
+        rt.quiesce()
+        elapsed = time.perf_counter() - started
+        return rt, rt.sim.events_processed / max(elapsed, 1e-9)
+
+    rt_off, rate_off = one(None)
+    rt_armed, rate_armed = one(ProtocolConfig(reads=ReadConfig(enabled=True)))
+    if _digest(rt_off) != _digest(rt_armed):
+        raise AssertionError(
+            "lease_overhead: armed-idle run scheduled differently from the "
+            f"disabled run ({_digest(rt_off)[:12]} != {_digest(rt_armed)[:12]})"
+        )
+    rt_off.perf_extra = {
+        "events_per_sec_disabled": round(rate_off, 1),
+        "events_per_sec_armed_idle": round(rate_armed, 1),
+        "armed_idle_overhead_pct": round(
+            100.0 * (1.0 - rate_armed / rate_off), 2
+        ),
+    }
+    return rt_off
+
+
 def _sharded_routing(quick: bool):
     txns = 60 if quick else 160
     rt, _sharded, _stats = run_sharded_workload(
@@ -346,6 +470,8 @@ SCENARIOS: List[Scenario] = [
     Scenario("sharded_routing", 1717, "call_latency:kv-s0", _sharded_routing),
     Scenario("batching_throughput", 1818, "call_latency:kv", _batching_throughput),
     Scenario("batching_pipeline", 1819, "call_latency:kv", _batching_pipeline),
+    Scenario("read_throughput", 1901, "driver_read_latency", _read_throughput),
+    Scenario("lease_overhead", 4242, "call_latency:kv", _lease_overhead),
 ]
 
 

@@ -1,0 +1,88 @@
+"""``python -m repro.reads.gate``: the E19 read-path determinism gate.
+
+Runs one seeded workload -- retry-until-commit distinct-key writes with a
+concurrent read-only open loop -- under the paper-faithful configuration
+(reads disabled) and under each read serving configuration (leases,
+backup reads, client cache), each config **twice**, and fails unless
+
+- every run commits every write,
+- the two same-seed runs of each config agree byte-for-byte on metrics
+  and on the sha256 state digest (same seed => same run, with the read
+  path armed), and
+- every read-enabled run's final replicated state is byte-identical to
+  the reads-disabled run's (serving reads from leases, backup prefixes,
+  or client caches may change how reads are *answered*, never what the
+  protocol *computes*).
+
+This is CI's check that ``ReadConfig`` is an observation plane, not a
+second write path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.experiments_reads import E19_CONDITIONS, _reads_state_run
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0], prog="python -m repro.reads.gate"
+    )
+    parser.add_argument("--seed", type=int, default=19)
+    parser.add_argument("--txns", type=int, default=32)
+    parser.add_argument("--duration", type=float, default=500.0)
+    args = parser.parse_args(argv)
+
+    failed = False
+    reference_digest = None
+    for condition in E19_CONDITIONS:
+        runs = [
+            _reads_state_run(
+                args.seed, condition, txns=args.txns, duration=args.duration
+            )
+            for _ in range(2)
+        ]
+        metrics, digest = runs[0]
+        print(
+            f"{condition:>8}: writes={metrics['writes_committed']} "
+            f"reads_ok={metrics['reads_ok']} modes={metrics['read_modes']} "
+            f"digest={digest[:16]}..."
+        )
+        if runs[0] != runs[1]:
+            print(
+                f"readgate: FAIL -- {condition} same-seed runs diverged:\n"
+                f"  {runs[0]}\n  {runs[1]}",
+                file=sys.stderr,
+            )
+            failed = True
+        if metrics["writes_committed"] != args.txns:
+            print(
+                f"readgate: FAIL -- {condition} committed only "
+                f"{metrics['writes_committed']}/{args.txns} writes",
+                file=sys.stderr,
+            )
+            failed = True
+        if condition == "baseline":
+            reference_digest = digest
+        elif digest != reference_digest:
+            print(
+                f"readgate: FAIL -- {condition} state digest diverged from "
+                f"the reads-disabled baseline:\n"
+                f"  {reference_digest}\n  {digest}",
+                file=sys.stderr,
+            )
+            failed = True
+    if failed:
+        return 1
+    print(
+        f"readgate: OK ({len(E19_CONDITIONS)} serving configs x 2 same-seed "
+        "runs, byte-identical digests, state byte-identical to the "
+        "reads-disabled baseline)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -70,6 +70,12 @@ EVENT_KINDS: Dict[str, str] = {
     "shard_route": "a sharded facade routed a request to its owning groups",
     "shard_prepare": "a cross-group prepare went out to one participant",
     "shard_commit": "a cross-group commit point covering many participants",
+    # read serving path (repro.reads, core/cohort.py, core/view_change.py)
+    "lease_grant": "a primary's read lease became valid (quorum of grants)",
+    "lease_expire": "a primary's read lease lapsed or was surrendered",
+    "lease_read": "a leased primary served a linearizable local read",
+    "lease_wait": "a new primary deferred activation past a lease bound",
+    "stale_read": "a backup served a stale-bounded read from its prefix",
 }
 
 

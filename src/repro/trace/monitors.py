@@ -6,7 +6,7 @@ and checks it *while the run executes*, not post hoc.  A violation raises
 harness/soak failure handling catches it -- carrying the minimal causal
 slice (<= 50 events) that explains the offending event.
 
-All five monitors are false-positive-free on legitimate runs:
+All monitors are false-positive-free on legitimate runs:
 
 - ``viewstamp_monotonic``: within one view, a cohort's applied timestamps
   strictly increase.  A crashed-and-recovered backup legitimately re-applies
@@ -26,6 +26,10 @@ All five monitors are false-positive-free on legitimate runs:
   commit without the committing record being majority-known".
 - ``phantom_delivery``: every delivery must correspond to a send the
   network actually performed (section 3.1's delivery-system assumption).
+- ``stale_lease``: once a primary of a newer view has committed a write,
+  no leased read may be served under an older view -- the lease protocol's
+  activation deferral (docs/READS.md) exists precisely to make any such
+  overlap impossible.
 """
 
 from __future__ import annotations
@@ -220,6 +224,57 @@ class PhantomDeliveryMonitor(InvariantMonitor):
             )
 
 
+class StaleLeaseMonitor(InvariantMonitor):
+    name = "stale_lease"
+    paper = "beyond the paper (docs/READS.md)"
+    description = (
+        "no leased read is served under a view older than one whose "
+        "primary has already committed a write (no committed write is "
+        "concurrent with a stale lease serving reads)"
+    )
+
+    def __init__(self):
+        # group -> (viewid tuple, viewid str) of the newest view in which
+        # a primary committed a write
+        self._commit_view: Dict[str, Tuple[Tuple[int, int], str]] = {}
+
+    @staticmethod
+    def _parse_viewid(viewid: str) -> Tuple[int, int]:
+        # "v{cnt}.{mid}" -- parse for ordering (cnt first, mid breaks ties)
+        cnt, _, mid = viewid[1:].partition(".")
+        return (int(cnt), int(mid))
+
+    def on_event(self, event, tracer) -> None:
+        data = event.data
+        if (
+            event.kind == "record_added"
+            and data.get("role") == "primary"
+            and data.get("rtype") == "Committed"
+        ):
+            group = data["group"]
+            parsed = self._parse_viewid(data["viewid"])
+            current = self._commit_view.get(group)
+            if current is None or parsed > current[0]:
+                self._commit_view[group] = (parsed, data["viewid"])
+            return
+        if event.kind != "lease_read":
+            return
+        group = data["group"]
+        newest = self._commit_view.get(group)
+        if newest is None:
+            return
+        served = self._parse_viewid(data["viewid"])
+        if served < newest[0]:
+            self.fail(
+                tracer,
+                event,
+                f"leased read in {group} served under view {data['viewid']} "
+                f"after a primary of view {newest[1]} committed a write: a "
+                f"stale lease is serving reads concurrent with committed "
+                f"writes",
+            )
+
+
 #: name -> monitor class; ``TraceConfig.monitors`` selects by name.
 MONITORS = {
     monitor.name: monitor
@@ -229,6 +284,7 @@ MONITORS = {
         QuorumIntersectionMonitor,
         CommitQuorumMonitor,
         PhantomDeliveryMonitor,
+        StaleLeaseMonitor,
     )
 }
 

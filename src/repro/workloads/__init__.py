@@ -9,7 +9,14 @@ from repro.workloads.bank import (
     transfer_program,
 )
 from repro.workloads.kv import KVStoreSpec, read_program, update_program, write_program
-from repro.workloads.loadgen import ClosedLoopStats, run_closed_loop
+from repro.workloads.loadgen import (
+    ClosedLoopStats,
+    OpenLoopStats,
+    ZipfianGenerator,
+    latency_histogram,
+    run_closed_loop,
+    run_open_loop,
+)
 from repro.workloads.orders import (
     InventorySpec,
     OrderLogSpec,
@@ -30,18 +37,22 @@ __all__ = [
     "CrashRecoverySchedule",
     "InventorySpec",
     "KVStoreSpec",
+    "OpenLoopStats",
     "OrderLogSpec",
     "PaymentsSpec",
     "PartitionSchedule",
+    "ZipfianGenerator",
     "audit_program",
     "book_trip_program",
     "check_order_invariants",
     "cross_bank_transfer_program",
     "deposit_program",
     "kill_primary_every",
+    "latency_histogram",
     "place_order_program",
     "read_program",
     "run_closed_loop",
+    "run_open_loop",
     "transfer_program",
     "update_program",
     "write_program",

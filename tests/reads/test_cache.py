@@ -1,0 +1,79 @@
+"""Unit tests for the client-side commit-set cache (repro.reads.cache):
+entries serve within the staleness window, the stable-timestamp watermark
+prunes them, capacity evicts oldest-first, and per-request bounds can
+only tighten the window."""
+
+from repro.reads.cache import CommitSetCache
+
+
+class _Clock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+def make_cache(staleness=25.0, capacity=4, now=0.0):
+    clock = _Clock(now)
+    return CommitSetCache(
+        staleness=staleness, capacity=capacity, clock=clock
+    ), clock
+
+
+def test_lookup_hits_within_window_and_reports_staleness():
+    cache, clock = make_cache(staleness=25.0)
+    cache.note("key0", 7)
+    clock.now = 10.0
+    assert cache.lookup("key0") == (7, 10.0)
+    assert cache.hits == 1
+    assert cache.lookup("other") is None
+    assert cache.misses == 1
+
+
+def test_entries_age_out_past_the_watermark():
+    cache, clock = make_cache(staleness=25.0)
+    cache.note("key0", 7)
+    clock.now = 26.0
+    assert cache.lookup("key0") is None
+    # the prune is physical: the stable-timestamp watermark dropped it
+    assert len(cache) == 0
+
+
+def test_newest_entry_wins():
+    cache, clock = make_cache(staleness=25.0)
+    cache.note("key0", 1)
+    clock.now = 5.0
+    cache.note("key0", 2)
+    clock.now = 8.0
+    assert cache.lookup("key0") == (2, 3.0)
+
+
+def test_max_staleness_tightens_but_never_widens_the_window():
+    cache, clock = make_cache(staleness=25.0)
+    cache.note("key0", 7)
+    clock.now = 10.0
+    assert cache.lookup("key0", max_staleness=5.0) is None
+    # a generous per-request bound cannot resurrect pruned entries
+    clock.now = 26.0
+    assert cache.lookup("key0", max_staleness=1000.0) is None
+
+
+def test_capacity_evicts_oldest_first():
+    cache, clock = make_cache(staleness=1000.0, capacity=2)
+    cache.note("a", 1)
+    cache.note("b", 2)
+    cache.note("c", 3)
+    assert len(cache) == 2
+    assert cache.lookup("a") is None
+    assert cache.lookup("b") == (2, 0.0)
+    assert cache.lookup("c") == (3, 0.0)
+
+
+def test_explicit_commit_timestamp_backdates_the_entry():
+    cache, clock = make_cache(staleness=25.0)
+    clock.now = 20.0
+    cache.note("key0", 7, t=2.0)  # a reply that reflects an old viewstamp
+    assert cache.lookup("key0") == (7, 18.0)
+    clock.now = 30.0  # t=2.0 is now past the 25.0 window
+    assert cache.lookup("key0") is None

@@ -1,0 +1,36 @@
+"""Determinism of the read serving path: same seed, same condition must
+replay byte-for-byte, and every serving configuration (reads disabled,
+leases, backup reads, client cache) must leave the committed state with
+an identical digest -- the property `python -m repro.reads.gate` checks
+at full size, here at small parameters for the tier-1 suite."""
+
+from repro.harness.experiments_reads import (
+    E19_CONDITIONS,
+    _reads_run,
+    _reads_state_run,
+)
+
+
+def test_same_seed_same_condition_replays_identically():
+    first = _reads_run(5, "leases", n_keys=8, duration=150.0, rate=0.4)
+    second = _reads_run(5, "leases", n_keys=8, duration=150.0, rate=0.4)
+    assert first == second
+
+
+def test_all_serving_configs_commit_identical_state():
+    runs = {
+        condition: _reads_state_run(6, condition, txns=8, duration=120.0)
+        for condition in E19_CONDITIONS
+    }
+    digests = {digest for _metrics, digest in runs.values()}
+    assert len(digests) == 1, (
+        "serving configs diverged: "
+        + ", ".join(
+            f"{condition}={digest[:12]}"
+            for condition, (_metrics, digest) in sorted(runs.items())
+        )
+    )
+    committed = {
+        metrics["writes_committed"] for metrics, _digest in runs.values()
+    }
+    assert committed == {8}

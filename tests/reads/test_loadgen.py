@@ -1,0 +1,86 @@
+"""Unit tests for the open-loop generator's building blocks: zipfian key
+skew, log-spaced latency histograms, and the open-loop stats object."""
+
+import math
+
+from repro.sim.rng import SeededRng
+from repro.workloads.loadgen import (
+    OpenLoopStats,
+    ZipfianGenerator,
+    latency_histogram,
+)
+
+
+def draw_many(theta, n=20, count=4000, seed=42):
+    zipf = ZipfianGenerator(n, theta=theta)
+    rng = SeededRng(seed)
+    counts = [0] * n
+    for _ in range(count):
+        index = zipf.draw(rng)
+        assert 0 <= index < n
+        counts[index] += 1
+    return counts
+
+
+def test_zipfian_skews_toward_low_ranks():
+    counts = draw_many(theta=0.99)
+    # YCSB-default skew: rank 0 dominates, the tail is thin
+    assert counts[0] > counts[-1] * 3
+    assert counts[0] > max(counts[1:])
+    assert counts[0] / sum(counts) > 0.2
+
+
+def test_zipfian_theta_zero_is_uniform():
+    counts = draw_many(theta=0.0)
+    expected = sum(counts) / len(counts)
+    assert max(counts) < expected * 1.5
+    assert min(counts) > expected * 0.5
+
+
+def test_zipfian_is_deterministic_per_seed():
+    zipf = ZipfianGenerator(64, theta=0.99)
+    draws_a = [zipf.draw(SeededRng(7).fork("k")) for _ in range(1)]
+    sequence = lambda seed: [  # noqa: E731
+        zipf.draw(rng) for rng in [SeededRng(seed)] for _ in range(50)
+    ]
+    assert sequence(7) == sequence(7)
+    assert sequence(7) != sequence(8)
+    assert draws_a == draws_a
+
+
+def test_zipfian_single_key_degenerates():
+    zipf = ZipfianGenerator(1)
+    rng = SeededRng(1)
+    assert all(zipf.draw(rng) == 0 for _ in range(20))
+
+
+def test_latency_histogram_covers_all_samples():
+    latencies = [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0]
+    hist = latency_histogram(latencies, bins=4)
+    assert len(hist) == 4
+    assert sum(count for _edge, count in hist) == len(latencies)
+    edges = [edge for edge, _count in hist]
+    assert edges == sorted(edges)
+    assert math.isclose(edges[-1], 32.0)
+    assert latency_histogram([]) == []
+    assert latency_histogram([3.0, 3.0]) == [(3.0, 2)]
+
+
+def test_open_loop_stats_accounting():
+    stats = OpenLoopStats()
+    assert stats.drained  # vacuously: nothing issued
+    stats.issued_reads = 3
+    stats.issued_writes = 1
+    assert not stats.drained
+    stats.reads_ok = 2
+    stats.reads_failed = 1
+    stats.writes_committed = 1
+    assert stats.drained
+    assert stats.issued == 4
+    assert stats.completed == 4
+    stats.read_latencies.extend([1.0, 2.0, 3.0])
+    assert stats.read_mean_latency == 2.0
+    assert stats.read_p99_latency == 3.0
+    assert stats.max_observed_staleness == 0.0
+    stats.read_staleness.append(4.5)
+    assert stats.max_observed_staleness == 4.5

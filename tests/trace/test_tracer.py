@@ -87,11 +87,12 @@ def test_causal_slice_tolerates_evicted_parents():
 
 def test_unknown_monitor_name_rejected():
     from repro.trace import build_monitors
+    from repro.trace.monitors import MONITORS
 
     with pytest.raises(ValueError, match="unknown monitor"):
         build_monitors(("no_such_monitor",))
     assert build_monitors(()) == []
-    assert len(build_monitors("all")) == 5
+    assert len(build_monitors("all")) == len(MONITORS)
 
 
 def test_event_kind_catalog_covers_emitted_kinds():
