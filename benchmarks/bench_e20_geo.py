@@ -1,0 +1,29 @@
+"""Experiment E20: geo-replication -- placement, failover, region faults.
+
+Regenerates the E20 table of EXPERIMENTS.md.
+"""
+
+from repro.harness import e20_geo
+
+from helpers import run_experiment
+
+
+def test_e20_geo(benchmark):
+    result = run_experiment(benchmark, e20_geo)
+    assert result.rows, "experiment produced no rows"
+    by_condition = {row[0]: row for row in result.rows}
+    # (a) every placement's cross-region failover lands inside the
+    # adaptive-timeout bound.
+    for condition, row in by_condition.items():
+        if condition.startswith("(a) failover"):
+            assert row[4].endswith("met"), f"failover bound missed: {row}"
+    # (b) the locality claim: one-shard-per-DC sharding beats spread
+    # placement on single-shard commit latency.
+    spread = float(by_condition["(b) 2PC latency [spread]"][2])
+    local = float(by_condition["(b) 2PC latency [single_dc]"][2])
+    assert local < spread, (
+        f"locality did not win: single_dc {local} vs spread {spread}"
+    )
+    # (c) the fenced minority's leased reads expired before the surviving
+    # majority's new primary committed.
+    assert "leases stopped" in by_condition["(c) region partition"][4]

@@ -45,6 +45,7 @@ from repro.app import (
 )
 from repro.config import (
     BatchConfig,
+    GeoConfig,
     ProtocolConfig,
     ReadConfig,
     TimingConfig,
@@ -53,6 +54,14 @@ from repro.config import (
 from repro.core import ModuleGroup, View, ViewId, Viewstamp
 from repro.driver import CallFailed, CallResult, Driver, ReadResult
 from repro.faults import FaultController, FaultPlan, Nemesis
+from repro.geo import (
+    Datacenter,
+    PlacementPolicy,
+    Topology,
+    Zone,
+    resolve_placement,
+    symmetric_topology,
+)
 from repro.location import GroupNotFound, LocationService
 from repro.net.link import LAN, LOSSY, WAN, LinkModel
 from repro.runtime import Runtime
@@ -66,11 +75,13 @@ __all__ = [
     "CallContext",
     "CallFailed",
     "CallResult",
+    "Datacenter",
     "DiskFault",
     "Driver",
     "EmptyModule",
     "FaultController",
     "FaultPlan",
+    "GeoConfig",
     "GroupNotFound",
     "LAN",
     "LOSSY",
@@ -80,6 +91,7 @@ __all__ = [
     "ModuleGroup",
     "ModuleSpec",
     "Nemesis",
+    "PlacementPolicy",
     "ProtocolConfig",
     "ReadConfig",
     "ReadResult",
@@ -88,10 +100,14 @@ __all__ = [
     "ShardedGroup",
     "StableStoragePolicy",
     "TimingConfig",
+    "Topology",
     "TraceConfig",
     "View",
     "ViewId",
     "Viewstamp",
+    "Zone",
     "procedure",
+    "resolve_placement",
+    "symmetric_topology",
     "transaction_program",
 ]

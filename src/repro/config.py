@@ -33,7 +33,10 @@ representations are reconciled in ``__post_init__``.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Tuple, Union
+from typing import TYPE_CHECKING, Optional, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover -- type-only; avoids a config<->geo cycle
+    from repro.geo.topology import Topology
 
 from repro.storage.stable import StableStoragePolicy
 
@@ -158,6 +161,31 @@ class ReadConfig:
     cache_capacity: int = 1024
 
 
+@dataclasses.dataclass
+class GeoConfig:
+    """Geo-replication: topology, placement, and client routing (docs/GEO.md).
+
+    ``ProtocolConfig.geo`` defaults to ``None`` -- the paper-faithful
+    flat network, byte-identical to the pre-geo schedules (perf-gated by
+    the ``geo_overhead`` scenario).  Arming a topology makes the runtime
+    install its per-pair models as *structural* links, place cohorts by
+    the ``placement`` policy, and register every cohort's and driver's
+    site with the :class:`~repro.location.LocationService`.
+    """
+
+    #: Where nodes can live; ``None`` keeps even an instantiated
+    #: GeoConfig inert (flat network).
+    topology: Optional["Topology"] = None
+    #: A placement name (``"spread"``, ``"single_dc"``, ``"single_dc:DC"``,
+    #: ``"primary_affinity:REGION"``) or a PlacementPolicy instance.
+    #: Names are recommended: each Runtime resolves a fresh instance.
+    placement: Union[str, object] = "spread"
+    #: Drivers with a site route reads to the nearest lease-holding
+    #: replica (nearest backup for ``prefer="backup"``/``"nearest"``)
+    #: instead of choosing uniformly; emits ``geo_route`` trace events.
+    geo_routing: bool = True
+
+
 #: Names of the knobs mirrored between TimingConfig and ProtocolConfig.
 _TIMING_FIELDS: Tuple[str, ...] = tuple(
     field.name for field in dataclasses.fields(TimingConfig)
@@ -278,6 +306,9 @@ class ProtocolConfig:
     timing: Optional[TimingConfig] = None
     batch: Optional[BatchConfig] = None
     reads: Optional[ReadConfig] = None
+    # Unlike batch/reads, geo is NOT auto-instantiated: ``geo is None``
+    # (or a GeoConfig without a topology) is the flat-network fast path.
+    geo: Optional[GeoConfig] = None
 
     def __post_init__(self) -> None:
         if self.batch is None:

@@ -140,6 +140,16 @@ class Driver(Actor):
         # -- read serving path (repro.reads) --
         self._reads: Dict[int, _PendingRead] = {}
         self._read_rng = runtime.sim.rng.fork(f"driver-reads/{name}")
+        # -- geo routing (repro.geo): a sited driver reads from the
+        # nearest serving replica instead of drawing one uniformly.
+        self.site = runtime.node_sites.get(node.node_id)
+        geo_cfg = self.config.geo
+        self._geo_routing = (
+            geo_cfg is not None
+            and geo_cfg.topology is not None
+            and geo_cfg.geo_routing
+            and self.site is not None
+        )
         reads_cfg = self.config.reads
         self.read_cache = None
         if reads_cfg is not None and reads_cfg.enabled and reads_cfg.client_cache:
@@ -306,18 +316,23 @@ class Driver(Actor):
         """Read one object's committed value outside the call path.
 
         Resolves to a :class:`ReadResult`.  *prefer* picks the first
-        serving mode tried: ``"primary"`` (leased linearizable read) or
-        ``"backup"`` (stale-bounded read, honoring *max_staleness*).
-        Rejections steer later attempts: a primary without a lease is
-        retried at a backup and a too-stale backup at the primary, so the
-        read lands wherever the group can serve it.  *fallback* is an
-        optional ``(coordinator groupid, program, args)`` triple run
-        through the full transactional call path when the fast path is
-        unavailable (e.g. reads disabled); without it such reads resolve
-        failed.
+        serving mode tried: ``"primary"`` (leased linearizable read),
+        ``"backup"`` (stale-bounded read, honoring *max_staleness*), or
+        ``"nearest"`` (geo routing: whichever view member is closest to
+        this driver's site -- primary semantics if that is the primary,
+        stale-bounded otherwise; degrades to ``"primary"`` on a site-less
+        driver or flat network).  Rejections steer later attempts: a
+        primary without a lease is retried at a backup and a too-stale
+        backup at the primary, so the read lands wherever the group can
+        serve it.  *fallback* is an optional ``(coordinator groupid,
+        program, args)`` triple run through the full transactional call
+        path when the fast path is unavailable (e.g. reads disabled);
+        without it such reads resolve failed.
         """
-        if prefer not in ("primary", "backup"):
-            raise ValueError(f"read() prefer must be primary|backup, got {prefer!r}")
+        if prefer not in ("primary", "backup", "nearest"):
+            raise ValueError(
+                f"read() prefer must be primary|backup|nearest, got {prefer!r}"
+            )
         self._next_request += 1
         request = _PendingRead(
             request_id=self._next_request,
@@ -358,13 +373,36 @@ class Driver(Actor):
         else:
             address = entry.primary_address
             if request.prefer == "backup" and entry.view.backups:
-                members = dict(self.runtime.location.lookup(request.groupid))
-                backups = [
-                    members[mid] for mid in sorted(entry.view.backups)
-                    if mid in members
-                ]
-                if backups:
-                    address = self._read_rng.choice(backups)
+                if self._geo_routing:
+                    # Geo routing replaces the uniform draw: read from
+                    # the backup nearest this driver's site (no RNG pull,
+                    # so flat-network schedules are untouched -- this
+                    # branch only exists when geo is armed).
+                    chosen = self.runtime.location.nearest_backup(
+                        request.groupid, entry.view, self.site
+                    )
+                    if chosen is not None:
+                        address = chosen
+                        self._trace_geo_route(request, address, "backup")
+                else:
+                    members = dict(self.runtime.location.lookup(request.groupid))
+                    backups = [
+                        members[mid] for mid in sorted(entry.view.backups)
+                        if mid in members
+                    ]
+                    if backups:
+                        address = self._read_rng.choice(backups)
+            elif request.prefer == "nearest" and self._geo_routing:
+                chosen = self.runtime.location.nearest_member(
+                    request.groupid, entry.view, self.site
+                )
+                if chosen is not None:
+                    address = chosen
+                    self._trace_geo_route(
+                        request,
+                        address,
+                        "primary" if address == entry.primary_address else "backup",
+                    )
             self.runtime.network.send(
                 self.address,
                 address,
@@ -378,6 +416,22 @@ class Driver(Actor):
         request.timer = self.node.set_timer(
             request.timeout, self._on_read_timeout, request.request_id
         )
+
+    def _trace_geo_route(
+        self, request: _PendingRead, target: str, role: str
+    ) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(
+                "geo_route",
+                node=self.node.node_id,
+                driver=self.address,
+                site=self.site,
+                group=request.groupid,
+                target=target,
+                target_site=self.runtime.location.site_of(target),
+                role=role,
+                prefer=request.prefer,
+            )
 
     def _on_read_timeout(self, request_id: int) -> None:
         request = self._reads.get(request_id)

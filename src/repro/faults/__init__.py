@@ -27,8 +27,10 @@ from repro.faults.nemesis import (
     MuteBackupUplinksRule,
     Nemesis,
     PartitionStormRule,
+    RegionPartitionRule,
     RollingRestartRule,
     SlowNodeRule,
+    WanDegradationRule,
 )
 from repro.faults.plan import FaultPlan
 
@@ -45,6 +47,8 @@ __all__ = [
     "MuteBackupUplinksRule",
     "Nemesis",
     "PartitionStormRule",
+    "RegionPartitionRule",
     "RollingRestartRule",
     "SlowNodeRule",
+    "WanDegradationRule",
 ]

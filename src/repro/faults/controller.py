@@ -56,6 +56,9 @@ class FaultController:
         # Directed address pairs overridden by slow_node, per victim, so
         # restore_node can undo exactly what slow_node did.
         self._slow_pairs: dict = {}
+        # Directed address pairs overridden by degrade_wan, so restore_wan
+        # can undo exactly the cross-DC degradation.
+        self._wan_pairs: List[tuple] = []
 
     # -- bookkeeping --------------------------------------------------------
 
@@ -184,6 +187,90 @@ class FaultController:
         self.runtime.network.link = self._default_link
         self._record("restore_links")
 
+    # -- region (geo) faults --------------------------------------------------
+
+    def _require_topology(self, what: str):
+        topology = self.runtime.topology
+        if topology is None:
+            raise ValueError(
+                f"{what} requires a geo topology "
+                "(ProtocolConfig.geo with GeoConfig.topology set)"
+            )
+        return topology
+
+    def region_nodes(self, region: str) -> list:
+        """Node ids placed in datacenter *region*, sorted."""
+        topology = self._require_topology("region_nodes")
+        if region not in topology.dc_names():
+            raise ValueError(
+                f"unknown region {region!r} (have {list(topology.dc_names())})"
+            )
+        return sorted(
+            node_id
+            for node_id, site in self.runtime.node_sites.items()
+            if topology.dc_of(site) == region
+        )
+
+    def partition_region(self, region: str) -> list:
+        """Cut one datacenter off from the rest of the world.
+
+        The region's placed nodes form one partition block; everyone
+        else (other regions plus unplaced nodes) forms the implicit
+        leftover block.  Restored by :meth:`heal` / :meth:`heal_all`.
+        Returns the isolated node ids.
+        """
+        nodes = self.region_nodes(region)
+        if not nodes:
+            raise ValueError(f"no nodes placed in region {region!r}")
+        self.runtime.network.partition([set(nodes)])
+        self._record("region_partition", region)
+        return nodes
+
+    def degrade_wan(self, factor: float = 3.0, loss: float = 0.05) -> int:
+        """Degrade every cross-datacenter path (both directions).
+
+        Each cross-DC address pair gets a fault override derived from
+        its *structural* model: delay and jitter scaled by *factor*,
+        loss raised to at least *loss*.  Intra-DC traffic is untouched.
+        Restored by :meth:`restore_wan` / :meth:`heal_all`.  Returns the
+        number of directed address pairs degraded.
+        """
+        topology = self._require_topology("degrade_wan")
+        network = self.runtime.network
+        placed = sorted(self.runtime.node_sites.items())
+        degraded = 0
+        for src_id, src_site in placed:
+            for dst_id, dst_site in placed:
+                if src_id == dst_id:
+                    continue
+                if topology.dc_of(src_site) == topology.dc_of(dst_site):
+                    continue
+                base = topology.link_between(src_site, dst_site)
+                model = dataclasses.replace(
+                    base,
+                    base_delay=base.base_delay * factor,
+                    jitter=base.jitter * factor,
+                    loss_probability=min(0.99, max(base.loss_probability, loss)),
+                )
+                for src_actor in self.runtime.nodes[src_id].actors:
+                    for dst_actor in self.runtime.nodes[dst_id].actors:
+                        network.set_link_model(
+                            src_actor.address, dst_actor.address, model
+                        )
+                        self._wan_pairs.append(
+                            (src_actor.address, dst_actor.address)
+                        )
+                        degraded += 1
+        self._record("wan_degradation", f"x{factor:g} loss={loss:g}")
+        return degraded
+
+    def restore_wan(self) -> None:
+        """Clear every override laid down by :meth:`degrade_wan`."""
+        for src_address, dst_address in self._wan_pairs:
+            self.runtime.network.clear_link_override(src_address, dst_address)
+        self._wan_pairs.clear()
+        self._record("restore_wan")
+
     # -- asymmetric (gray) network faults ------------------------------------
 
     def fail_link_oneway(self, src_node: str, dst_node: str) -> None:
@@ -297,8 +384,12 @@ class FaultController:
         recorded individually).  This is the full contract :meth:`heal`
         deliberately does not provide."""
         self.runtime.network.heal()
+        # Clears fault overrides only: structural (geo topology) link
+        # models are the network's shape, not an injected disruption,
+        # and deliberately survive heal_all.
         self.runtime.network.clear_link_overrides()
         self._slow_pairs.clear()
+        self._wan_pairs.clear()
         self.runtime.network.link = self._default_link
         for node in self.runtime.nodes.values():
             for store in node.stable_stores:

@@ -240,6 +240,67 @@ class LossyBurstsRule(FaultRule):
 
 
 @dataclasses.dataclass
+class RegionPartitionRule(FaultRule):
+    """Cut a whole datacenter off *count* times, healing in between.
+
+    ``region`` names a datacenter, or ``"random"`` to draw one per
+    episode from the rule's seeded stream.  Requires a geo topology
+    (``ProtocolConfig.geo``); built on ``controller.partition_region``,
+    restored by ``controller.heal()``.
+    """
+
+    region: str
+    every: float
+    duration: float
+    count: int = 1
+    rng_name: str = "region-partition"
+    label = "region-partition"
+
+    def run(self, controller):
+        rng = controller.runtime.sim.rng.fork(self.rng_name)
+        for _ in range(self.count):
+            yield sleep(self.every)
+            region = self.region
+            if region == "random":
+                topology = controller.runtime.topology
+                if topology is None:
+                    raise ValueError(
+                        "region_partition requires a geo topology"
+                    )
+                region = rng.choice(list(topology.dc_names()))
+            controller.partition_region(region)
+            yield sleep(self.duration)
+            controller.heal()
+
+
+@dataclasses.dataclass
+class WanDegradationRule(FaultRule):
+    """Alternate healthy and degraded WAN weather on cross-DC paths.
+
+    Every exponential *mean_healthy*, every cross-datacenter pair's
+    delay/jitter scales by *factor* and its loss floor rises to *loss*
+    for an exponential *mean_degraded*; intra-DC traffic never suffers.
+    Built on ``controller.degrade_wan`` / ``restore_wan`` (so
+    ``heal_all()`` also clears it).
+    """
+
+    mean_healthy: float
+    mean_degraded: float
+    factor: float = 3.0
+    loss: float = 0.05
+    rng_name: str = "wan-degradation"
+    label = "wan-degradation"
+
+    def run(self, controller):
+        rng = controller.runtime.sim.rng.fork(self.rng_name)
+        while True:
+            yield sleep(rng.expovariate(1.0 / self.mean_healthy))
+            controller.degrade_wan(self.factor, self.loss)
+            yield sleep(rng.expovariate(1.0 / self.mean_degraded))
+            controller.restore_wan()
+
+
+@dataclasses.dataclass
 class MuteBackupUplinksRule(FaultRule):
     """Asymmetric outage: silence one backup's uplinks, then restore.
 
@@ -617,6 +678,42 @@ class Nemesis:
         if link is not None:
             rule.link = link
         return self.add(rule)
+
+    def region_partition(
+        self,
+        region: str,
+        every: float,
+        duration: float,
+        count: int = 1,
+        rng_name: Optional[str] = None,
+    ) -> "Nemesis":
+        return self.add(
+            RegionPartitionRule(
+                region,
+                every,
+                duration,
+                count,
+                rng_name or self._stream("region-partition"),
+            )
+        )
+
+    def wan_degradation(
+        self,
+        mean_healthy: float,
+        mean_degraded: float,
+        factor: float = 3.0,
+        loss: float = 0.05,
+        rng_name: Optional[str] = None,
+    ) -> "Nemesis":
+        return self.add(
+            WanDegradationRule(
+                mean_healthy,
+                mean_degraded,
+                factor,
+                loss,
+                rng_name or self._stream("wan-degradation"),
+            )
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Nemesis({self.name!r}, rules={len(self.rules)})"

@@ -1,0 +1,88 @@
+"""``python -m repro.geo.gate``: the E20 geo determinism gate.
+
+Runs one seeded workload -- retry-until-commit distinct-key writes plus
+a nearest-routed read-only loop -- under the flat network (``geo is
+None``) and under each placement policy on the standard 3-DC topology,
+each configuration **twice**, and fails unless
+
+- every run commits every write,
+- the two same-seed runs of each configuration agree byte-for-byte on
+  metrics and on the sha256 state digest (same seed => same run, with
+  topologies, placement, and geo routing armed), and
+- every placement's final replicated state is byte-identical to the
+  flat-network run's (geography moves messages and shifts latencies;
+  it may never change what the protocol *computes*).
+
+This is CI's check that ``repro.geo`` is a transport/placement plane,
+not a second protocol.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.experiments_geo import E20_PLACEMENTS, _geo_state_run
+
+#: Gate conditions: None = the flat (paper-faithful) baseline.
+GATE_CONDITIONS = (None,) + E20_PLACEMENTS + ("single_dc:dc-a",)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0], prog="python -m repro.geo.gate"
+    )
+    parser.add_argument("--seed", type=int, default=20)
+    parser.add_argument("--txns", type=int, default=24)
+    args = parser.parse_args(argv)
+
+    failed = False
+    reference_digest = None
+    for condition in GATE_CONDITIONS:
+        label = condition if condition is not None else "flat"
+        runs = [
+            _geo_state_run(args.seed, condition, txns=args.txns)
+            for _ in range(2)
+        ]
+        metrics, digest = runs[0]
+        print(
+            f"{label:>20}: writes={metrics['writes_committed']} "
+            f"reads_ok={metrics['reads_ok']} modes={metrics['read_modes']} "
+            f"digest={digest[:16]}..."
+        )
+        if runs[0] != runs[1]:
+            print(
+                f"geogate: FAIL -- {label} same-seed runs diverged:\n"
+                f"  {runs[0]}\n  {runs[1]}",
+                file=sys.stderr,
+            )
+            failed = True
+        if metrics["writes_committed"] != args.txns:
+            print(
+                f"geogate: FAIL -- {label} committed only "
+                f"{metrics['writes_committed']}/{args.txns} writes",
+                file=sys.stderr,
+            )
+            failed = True
+        if condition is None:
+            reference_digest = digest
+        elif digest != reference_digest:
+            print(
+                f"geogate: FAIL -- {label} state digest diverged from the "
+                f"flat-network baseline:\n"
+                f"  {reference_digest}\n  {digest}",
+                file=sys.stderr,
+            )
+            failed = True
+    if failed:
+        return 1
+    print(
+        f"geogate: OK ({len(GATE_CONDITIONS)} conditions x 2 same-seed "
+        "runs, byte-identical digests, state byte-identical to the "
+        "flat-network baseline)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,203 @@
+"""Declarative multi-datacenter topologies (datacenters -> zones -> slots).
+
+The paper assumes one flat network; ``Topology`` describes where nodes
+*live* so the network can charge distance-appropriate delay and loss per
+directed pair.  Three tiers of :class:`~repro.net.link.LinkModel` are
+derived for any pair of sites:
+
+- same zone        -> ``intra_zone``   (sub-millisecond rack fabric)
+- same DC, other zone -> ``intra_dc``  (the LAN preset's regime)
+- different DCs    -> ``cross_dc`` or a per-DC-pair override (WAN regime)
+
+Sites are ``"dc/zone"`` strings; a zone's ``slots`` is advisory capacity
+that weights round-robin placement (a zone with 2 slots receives twice
+the cohorts of a 1-slot zone) -- the simulation never refuses to place a
+node, it just cycles.
+
+Topology models are *structural*: :class:`~repro.runtime.Runtime`
+installs them via ``Network.set_structural_link``, so they are distinct
+from fault-injected overrides, survive ``heal_all()``, and never count
+as a liveness disruption.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from repro.net.link import LinkModel
+
+#: Same-zone fabric: faster than the flat-network LAN default.
+INTRA_ZONE = LinkModel(base_delay=0.5, jitter=0.1)
+
+#: Cross-zone, same-DC: the LAN regime (matches the flat default).
+INTRA_DC = LinkModel(base_delay=1.0, jitter=0.2)
+
+#: Cross-DC WAN: an order of magnitude slower, mildly lossy.  Chosen so
+#: a cross-DC round trip (~24-32 time units) stays inside the default
+#: call/force timeouts -- geography stretches latency without starving
+#: the protocol.
+CROSS_DC = LinkModel(
+    base_delay=12.0,
+    jitter=4.0,
+    loss_probability=0.005,
+    duplicate_probability=0.001,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Zone:
+    """One failure/latency domain inside a datacenter."""
+
+    name: str
+    slots: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name or "/" in self.name:
+            raise ValueError(f"zone name must be non-empty, '/'-free: {self.name!r}")
+        if self.slots < 1:
+            raise ValueError(f"zone {self.name!r} needs at least 1 slot")
+
+
+@dataclasses.dataclass(frozen=True)
+class Datacenter:
+    """A named region holding one or more zones."""
+
+    name: str
+    zones: Tuple[Zone, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name or "/" in self.name:
+            raise ValueError(f"datacenter name must be non-empty, '/'-free: {self.name!r}")
+        if not self.zones:
+            raise ValueError(f"datacenter {self.name!r} has no zones")
+        names = [zone.name for zone in self.zones]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate zone names in datacenter {self.name!r}: {names}")
+
+
+class Topology:
+    """Datacenters -> zones -> slots, with derived per-pair link models.
+
+    ``pair_overrides`` maps *directed* ``(dc_a, dc_b)`` name pairs to a
+    LinkModel replacing the ``cross_dc`` tier for that direction (model
+    an asymmetric backbone by overriding only one direction).
+    """
+
+    def __init__(
+        self,
+        datacenters: Tuple[Datacenter, ...],
+        intra_zone: LinkModel = INTRA_ZONE,
+        intra_dc: LinkModel = INTRA_DC,
+        cross_dc: LinkModel = CROSS_DC,
+        pair_overrides: Optional[Dict[Tuple[str, str], LinkModel]] = None,
+    ):
+        datacenters = tuple(datacenters)
+        if not datacenters:
+            raise ValueError("a topology needs at least one datacenter")
+        names = [dc.name for dc in datacenters]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate datacenter names: {names}")
+        self.datacenters = datacenters
+        self.intra_zone = intra_zone
+        self.intra_dc = intra_dc
+        self.cross_dc = cross_dc
+        self.pair_overrides = dict(pair_overrides or {})
+        for dc_a, dc_b in self.pair_overrides:
+            if dc_a not in names or dc_b not in names:
+                raise ValueError(
+                    f"pair_overrides names unknown datacenter: ({dc_a!r}, {dc_b!r})"
+                )
+        self._sites: Tuple[str, ...] = tuple(
+            f"{dc.name}/{zone.name}" for dc in datacenters for zone in dc.zones
+        )
+        self._site_set = frozenset(self._sites)
+        # Slot-weighted per-DC site cycles, declaration order (placement
+        # policies walk these deterministically).
+        self._dc_cycles: Dict[str, Tuple[str, ...]] = {
+            dc.name: tuple(
+                f"{dc.name}/{zone.name}"
+                for zone in dc.zones
+                for _ in range(zone.slots)
+            )
+            for dc in datacenters
+        }
+
+    # -- site addressing -----------------------------------------------------
+
+    def sites(self) -> Tuple[str, ...]:
+        """Every ``"dc/zone"`` site, declaration order."""
+        return self._sites
+
+    def has_site(self, site: str) -> bool:
+        return site in self._site_set
+
+    def dc_names(self) -> Tuple[str, ...]:
+        return tuple(dc.name for dc in self.datacenters)
+
+    def dc_of(self, site: str) -> str:
+        """The datacenter (region) a site belongs to."""
+        if site not in self._site_set:
+            raise ValueError(f"unknown site {site!r} (have {list(self._sites)})")
+        return site.split("/", 1)[0]
+
+    def sites_of(self, dc_name: str) -> Tuple[str, ...]:
+        """The DC's slot-weighted site cycle (zone with 2 slots appears twice)."""
+        try:
+            return self._dc_cycles[dc_name]
+        except KeyError:
+            raise ValueError(
+                f"unknown datacenter {dc_name!r} (have {list(self.dc_names())})"
+            ) from None
+
+    def slot_count(self) -> int:
+        return sum(len(cycle) for cycle in self._dc_cycles.values())
+
+    # -- derived link models -------------------------------------------------
+
+    def link_between(self, site_a: str, site_b: str) -> LinkModel:
+        """The structural model for traffic ``site_a -> site_b``."""
+        for site in (site_a, site_b):
+            if site not in self._site_set:
+                raise ValueError(f"unknown site {site!r} (have {list(self._sites)})")
+        if site_a == site_b:
+            return self.intra_zone
+        dc_a = site_a.split("/", 1)[0]
+        dc_b = site_b.split("/", 1)[0]
+        if dc_a == dc_b:
+            return self.intra_dc
+        return self.pair_overrides.get((dc_a, dc_b), self.cross_dc)
+
+    def distance(self, site_a: str, site_b: str) -> float:
+        """A routing metric: the pair's structural base delay."""
+        return self.link_between(site_a, site_b).base_delay
+
+    def describe(self) -> str:
+        lines = []
+        for dc in self.datacenters:
+            zones = ", ".join(f"{z.name}({z.slots})" for z in dc.zones)
+            lines.append(f"{dc.name}: {zones}")
+        return "\n".join(lines)
+
+
+def symmetric_topology(
+    n_dcs: int = 3,
+    zones_per_dc: int = 2,
+    slots_per_zone: int = 2,
+    **kwargs,
+) -> Topology:
+    """The standard E20 shape: ``dc-a .. dc-N``, each with ``z1 .. zM``."""
+    if n_dcs < 1 or n_dcs > 26:
+        raise ValueError("n_dcs must be in 1..26")
+    return Topology(
+        tuple(
+            Datacenter(
+                f"dc-{chr(ord('a') + index)}",
+                tuple(
+                    Zone(f"z{z + 1}", slots_per_zone) for z in range(zones_per_dc)
+                ),
+            )
+            for index in range(n_dcs)
+        ),
+        **kwargs,
+    )

@@ -28,6 +28,7 @@ from repro.harness.experiments_extensions import (
 from repro.harness.experiments_ablations import e15_ablations
 from repro.harness.experiments_robustness import e16_liveness
 from repro.harness.experiments_scale import e17_sharding, e18_batching
+from repro.harness.experiments_geo import e20_geo
 from repro.harness.experiments_reads import e19_reads
 
 ALL_EXPERIMENTS = {
@@ -49,6 +50,7 @@ ALL_EXPERIMENTS = {
     "E17": e17_sharding,
     "E18": e18_batching,
     "E19": e19_reads,
+    "E20": e20_geo,
 }
 
 __all__ = [
@@ -73,4 +75,5 @@ __all__ = [
     "e17_sharding",
     "e18_batching",
     "e19_reads",
+    "e20_geo",
 ]

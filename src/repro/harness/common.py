@@ -47,8 +47,14 @@ def build_kv_system(
     link=None,
     register=("get", "put", "update"),
     trace=None,
+    driver_site: Optional[str] = None,
 ) -> Tuple[Runtime, object, object, object, KVStoreSpec]:
-    """Runtime with a KV group, a client group, and a driver."""
+    """Runtime with a KV group, a client group, and a driver.
+
+    With a geo-armed *config*, cohorts are placed by its placement
+    policy; *driver_site* additionally homes the driver at a topology
+    site so its reads route geographically.
+    """
     from repro.workloads.kv import read_program, update_program, write_program
 
     kwargs = {}
@@ -65,7 +71,7 @@ def build_kv_system(
     clients.register_program("read", read_program)
     clients.register_program("write", write_program)
     clients.register_program("update", update_program)
-    driver = rt.create_driver("driver")
+    driver = rt.create_driver("driver", site=driver_site)
     return rt, kv, clients, driver, spec
 
 

@@ -29,7 +29,8 @@ from repro.trace.export import write_jsonl
 
 def run_soak(seed: int = 2026, duration: float = 15_000.0,
              verbose: bool = True, on_runtime=None, trace=None,
-             liveness: bool = False, reads: bool = False) -> dict:
+             liveness: bool = False, reads: bool = False,
+             geo: bool = False) -> dict:
     """One soak run; returns summary stats, raises AssertionError on a
     safety violation, an online invariant violation (``trace`` with
     monitors enabled), a liveness violation (``liveness=True``), or
@@ -46,14 +47,34 @@ def run_soak(seed: int = 2026, duration: float = 15_000.0,
     must make progress or the run fails with a StallReport.  ``reads``
     arms the lease/backup read serving path (``ReadConfig``) and adds a
     read prober alongside the write prober, so the ``stale_lease``
-    monitor is exercised under partitions and primary crash churn."""
-    config = None
+    monitor is exercised under partitions and primary crash churn.
+    ``geo`` spreads the group across a 3-datacenter topology with a
+    sited driver and swaps the flat partition storm for region-scale
+    chaos: random region partitions, WAN degradation episodes, and
+    primary crashes."""
+    geo_cfg = None
+    read_cfg = None
     if reads:
-        from repro.config import ProtocolConfig, ReadConfig
+        from repro.config import ReadConfig
 
-        config = ProtocolConfig(reads=ReadConfig(enabled=True))
+        read_cfg = ReadConfig(enabled=True)
+    if geo:
+        from repro.config import GeoConfig
+        from repro.geo import symmetric_topology
+
+        geo_cfg = GeoConfig(
+            topology=symmetric_topology(n_dcs=3, zones_per_dc=2,
+                                        slots_per_zone=2),
+            placement="spread",
+        )
+    config = None
+    if read_cfg is not None or geo_cfg is not None:
+        from repro.config import ProtocolConfig
+
+        config = ProtocolConfig(reads=read_cfg, geo=geo_cfg)
     rt, kv, _clients, driver, spec = build_kv_system(
-        seed=seed, n_cohorts=3, trace=trace, config=config
+        seed=seed, n_cohorts=5 if geo else 3, trace=trace, config=config,
+        driver_site="dc-a/z1" if geo else None,
     )
     if on_runtime is not None:
         on_runtime(rt)
@@ -62,14 +83,25 @@ def run_soak(seed: int = 2026, duration: float = 15_000.0,
 
         rt.arm_liveness(spec_catalog("kv", rt.config, commits=1))
     node_ids = [node.node_id for node in kv.nodes()]
-    rt.inject(
-        Nemesis("soak")
-        .partition_storm(node_ids, mean_healthy=700.0, mean_partitioned=300.0)
-        .lossy_bursts(mean_healthy=500.0, mean_lossy=250.0, loss=0.15,
-                      duplicate=0.05)
-        .crash_primary("kv", every=1500.0, count=int(duration // 1500),
-                       recover_after=400.0)
-    )
+    nemesis = Nemesis("soak")
+    if geo:
+        # Region-scale chaos: whole datacenters drop off the WAN and the
+        # WAN itself degrades, instead of node-granular partitions.
+        nemesis.region_partition(
+            region="random", every=2500.0, duration=600.0,
+            count=max(1, int(duration // 2500)),
+        ).wan_degradation(
+            mean_healthy=1500.0, mean_degraded=400.0, factor=3.0, loss=0.05,
+        )
+    else:
+        nemesis.partition_storm(
+            node_ids, mean_healthy=700.0, mean_partitioned=300.0
+        ).lossy_bursts(
+            mean_healthy=500.0, mean_lossy=250.0, loss=0.15, duplicate=0.05
+        )
+    nemesis.crash_primary("kv", every=1500.0, count=int(duration // 1500),
+                          recover_after=400.0)
+    rt.inject(nemesis)
     outcomes = {"ok": 0, "total": 0}
 
     def prober():
@@ -113,6 +145,10 @@ def run_soak(seed: int = 2026, duration: float = 15_000.0,
     rt.faults.stop()
     rt.faults.heal()
     rt.faults.restore_links()
+    if geo:
+        # A WAN-degradation episode interrupted mid-flight leaves its
+        # per-pair overrides behind; structural topology links survive.
+        rt.faults.restore_wan()
     # Give the healed group time to reorganize and drain buffers, then
     # demand full safety: serializable history AND a converged view.
     limit = rt.sim.now + 6000
@@ -142,6 +178,11 @@ def run_soak(seed: int = 2026, duration: float = 15_000.0,
             "invite_retransmits:kv", 0
         ),
     }
+    if geo:
+        stats.update({
+            "region_partitions": rt.faults.count("region_partition"),
+            "wan_degradations": rt.faults.count("wan_degradation"),
+        })
     if reads:
         stats.update({
             "read_probes": reads_outcomes["total"],
@@ -214,6 +255,12 @@ def main(argv=None) -> int:
              "monitor is exercised under the nemesis",
     )
     parser.add_argument(
+        "--geo", action="store_true",
+        help="spread the group across a 3-datacenter topology (repro.geo) "
+             "and swap the flat partition storm for region partitions and "
+             "WAN degradation episodes",
+    )
+    parser.add_argument(
         "--artifact-dir", default=None, metavar="DIR",
         help="on failure, write the failure report, the full trace JSONL, "
              "and the violation's causal slice here (CI uploads DIR)",
@@ -235,7 +282,7 @@ def main(argv=None) -> int:
         run_soak(
             seed=args.seed, duration=args.duration, trace=trace,
             on_runtime=lambda rt: captured.setdefault("rt", rt),
-            liveness=args.liveness, reads=args.reads,
+            liveness=args.liveness, reads=args.reads, geo=args.geo,
         )
     except AssertionError as failure:
         print(f"SOAK FAILED: {failure}", file=sys.stderr)

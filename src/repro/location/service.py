@@ -73,6 +73,10 @@ class LocationService:
     def __init__(self) -> None:
         self._configurations: Dict[str, Tuple[Tuple[int, str], ...]] = {}
         self._shard_maps: Dict[str, Any] = {}
+        # repro.geo: address -> "dc/zone" site, plus the topology whose
+        # distance() metric ranks replicas for nearest-* routing.
+        self._sites: Dict[str, str] = {}
+        self._topology = None
 
     def register(self, groupid: str, configuration) -> None:
         if groupid in self._configurations:
@@ -130,6 +134,92 @@ class LocationService:
 
     def __contains__(self, groupid: str) -> bool:
         return groupid in self._configurations
+
+    # -- geo sites and nearest-replica routing (repro.geo) -----------------
+
+    def attach_topology(self, topology) -> None:
+        """Install the topology whose distances rank nearest-* answers."""
+        if self._topology is not None and self._topology is not topology:
+            raise ValueError("a different topology is already attached")
+        self._topology = topology
+
+    def register_site(self, address: str, site: str) -> None:
+        """Record that *address* lives at topology *site*.
+
+        Sites are as permanent as the configuration map itself: a second
+        registration for the same address is rejected (a node does not
+        move between datacenters mid-run).
+        """
+        if address in self._sites:
+            raise ValueError(
+                f"address {address!r} already registered at site "
+                f"{self._sites[address]!r}; site registrations are permanent"
+            )
+        if self._topology is not None and not self._topology.has_site(site):
+            raise ValueError(f"unknown site {site!r} for address {address!r}")
+        self._sites[address] = site
+
+    def site_of(self, address: str) -> Optional[str]:
+        return self._sites.get(address)
+
+    def _distance(self, from_site: Optional[str], address: str) -> float:
+        """Routing distance from a client site to a registered address.
+
+        Unknown sites (either end) rank after every known pair, so a
+        placed replica always beats an unplaced one.
+        """
+        to_site = self._sites.get(address)
+        if self._topology is None or from_site is None or to_site is None:
+            return float("inf")
+        return self._topology.distance(from_site, to_site)
+
+    def nearest_backup(
+        self, groupid: str, view, site: Optional[str]
+    ) -> Optional[str]:
+        """The view's backup nearest to *site* (ties broken by mid).
+
+        Returns ``None`` if the group is unknown, the view is absent, or
+        no backup named by the view is registered -- mirroring
+        :meth:`primary_address`'s tolerance of in-progress view changes.
+        """
+        configuration = self.try_lookup(groupid)
+        if configuration is None or view is None:
+            return None
+        members = dict(configuration)
+        best: Optional[str] = None
+        best_rank: Optional[Tuple[float, int]] = None
+        for mid in sorted(view.backups):
+            address = members.get(mid)
+            if address is None:
+                continue
+            rank = (self._distance(site, address), mid)
+            if best_rank is None or rank < best_rank:
+                best, best_rank = address, rank
+        return best
+
+    def nearest_member(
+        self, groupid: str, view, site: Optional[str]
+    ) -> Optional[str]:
+        """The view member (primary included) nearest to *site*.
+
+        The primary wins distance ties, so a flat (or site-less) lookup
+        degrades to primary routing.
+        """
+        configuration = self.try_lookup(groupid)
+        if configuration is None or view is None:
+            return None
+        members = dict(configuration)
+        best: Optional[str] = None
+        best_rank: Optional[Tuple[float, int]] = None
+        ordered = [view.primary] + sorted(view.backups)
+        for tiebreak, mid in enumerate(ordered):
+            address = members.get(mid)
+            if address is None:
+                continue
+            rank = (self._distance(site, address), tiebreak)
+            if best_rank is None or rank < best_rank:
+                best, best_rank = address, rank
+        return best
 
     # -- shard maps --------------------------------------------------------
 

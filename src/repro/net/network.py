@@ -47,6 +47,13 @@ class Network:
         self._failed_directed: Set[Tuple[str, str]] = set()  # (src, dst) node ids
         self._delivered_ids: Set[int] = set()
         self._link_overrides: Dict[Tuple[str, str], LinkModel] = {}
+        # Structural (topology-derived) per-pair models, keyed by directed
+        # *node id* pairs.  These describe where nodes live (repro.geo),
+        # not an injected fault: they survive heal_all() and never count
+        # as a disruption.  The cache resolves address pairs to models
+        # lazily (None = "fall through to self.link at send time").
+        self._structural_links: Dict[Tuple[str, str], LinkModel] = {}
+        self._structural_cache: Dict[Tuple[str, str], Optional[LinkModel]] = {}
         # Plain-int totals on the per-message hot path; the per-type
         # breakdown lives in Metrics, these feed repro.perf cheaply.
         self.messages_sent_total = 0
@@ -151,8 +158,25 @@ class Network:
         self._failed_directed.discard((src_node, dst_node))
 
     def set_link_model(self, src: str, dst: str, model: LinkModel) -> None:
-        """Override link behaviour for one directed address pair."""
+        """Override link behaviour for one directed address pair.
+
+        This is the *fault* surface (degraded links, gray failures): the
+        override counts as a disruption for :meth:`disrupted` and is
+        cleared by ``FaultController.heal_all``.  Topology-derived models
+        belong in :meth:`set_structural_link` instead.
+        """
         self._link_overrides[(src, dst)] = model
+
+    def set_link_model_pair(self, a: str, b: str, model: LinkModel) -> None:
+        """Override link behaviour for *both* directions between two
+        addresses.
+
+        Directed-pair overrides are easy to get wrong (setting only
+        ``a -> b`` silently leaves the return path on the default link);
+        use this helper whenever the degradation is symmetric.
+        """
+        self._link_overrides[(a, b)] = model
+        self._link_overrides[(b, a)] = model
 
     def clear_link_override(self, src: str, dst: str) -> None:
         """Drop one directed pair's override (back to ``self.link``).
@@ -164,8 +188,60 @@ class Network:
         self._link_overrides.pop((src, dst), None)
 
     def clear_link_overrides(self) -> None:
-        """Drop every per-pair link-model override (back to ``self.link``)."""
+        """Drop every per-pair link-model override (back to ``self.link``).
+
+        Structural (topology) link models are untouched: healing a fault
+        must not flatten the geography.
+        """
         self._link_overrides.clear()
+
+    # -- structural (topology) link models -----------------------------------
+
+    def set_structural_link(
+        self, src_node: str, dst_node: str, model: LinkModel
+    ) -> None:
+        """Install the *structural* model for one directed node pair.
+
+        Structural models describe the topology (intra-zone / intra-DC /
+        cross-DC distances from :class:`repro.geo.Topology`); they are
+        distinct from fault-injected overrides: :meth:`disrupted` ignores
+        them, ``heal_all()`` leaves them in place, and a fault override
+        for the same address pair takes precedence while active.
+        """
+        self._structural_links[(src_node, dst_node)] = model
+        # Address-pair resolutions are memoized; any change invalidates.
+        self._structural_cache.clear()
+
+    def clear_structural_links(self) -> None:
+        """Drop every structural model (back to the flat network)."""
+        self._structural_links.clear()
+        self._structural_cache.clear()
+
+    def structural_links(self) -> Dict[Tuple[str, str], LinkModel]:
+        return dict(self._structural_links)
+
+    def _structural_model(self, source: str, destination: str) -> LinkModel:
+        """The structural model for an address pair (default: ``self.link``).
+
+        Cached per directed address pair; a cached ``None`` means "no
+        structural entry -- use the *current* default link", so swapping
+        ``self.link`` (e.g. ``FaultController.lossy``) still takes effect
+        for unplaced pairs.
+        """
+        key = (source, destination)
+        cache = self._structural_cache
+        if key in cache:
+            model = cache[key]
+            return model if model is not None else self.link
+        src_node = self.node_of(source)
+        dst_node = self.node_of(destination)
+        model = None
+        if src_node is not None and dst_node is not None:
+            model = self._structural_links.get(
+                (src_node.node_id, dst_node.node_id)
+            )
+        cache[key] = model
+        return model if model is not None else self.link
 
     # -- disruption inspection (repro.live StallReports) --------------------
 
@@ -185,7 +261,14 @@ class Network:
         return dict(self._link_overrides)
 
     def disrupted(self, default_link: Optional[LinkModel] = None) -> bool:
-        """Whether any injected network disruption is currently active."""
+        """Whether any injected network disruption is currently active.
+
+        Only *fault* state counts: partitions, failed links, per-pair
+        fault overrides, and a swapped default link.  Structural
+        (topology) link models are the network's permanent shape, not a
+        disruption -- otherwise a geo topology would pause every liveness
+        window forever.
+        """
         if self._partition is not None or self._failed_links or self._failed_directed:
             return True
         if self._link_overrides:
@@ -261,7 +344,14 @@ class Network:
             self._release_envelope(envelope)
             return
 
-        model = self._link_overrides.get((source, destination), self.link)
+        # Fault override > structural (topology) model > default link.
+        model = self._link_overrides.get((source, destination))
+        if model is None:
+            model = (
+                self._structural_model(source, destination)
+                if self._structural_links
+                else self.link
+            )
         if model.drops(self.rng):
             self.messages_dropped_total += 1
             self.metrics.on_drop(payload.msg_type)

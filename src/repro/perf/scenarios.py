@@ -35,6 +35,13 @@ Six scenarios spanning the regimes the roadmap cares about:
   machinery armed but idle, which must schedule identically to the
   reads-disabled run (gating ``ReadConfig``'s zero-cost-when-disabled
   claim the way ``trace_overhead`` gates tracing's).
+- ``geo_overhead`` / ``geo_commit_latency``: the E20 shapes -- the same
+  seeded KV batch on the flat network and on a degenerate one-DC
+  topology whose every tier is the LAN default (the two must schedule
+  byte-identically, gating ``GeoConfig``'s zero-cost-when-disabled
+  claim), and the standard closed-loop mix on a 3-DC ``spread``
+  placement where every quorum crosses the WAN (regression-gating the
+  geo transport stack's latency).
 
 Every scenario is deterministic given its pinned seed; ``quick`` scales the
 workload down for CI without changing its shape.
@@ -439,6 +446,81 @@ def _lease_overhead(quick: bool):
     return rt_off
 
 
+def _geo_overhead(quick: bool):
+    """The GeoConfig zero-cost claim, measured: the same seeded KV batch
+    on the flat network (``geo is None``) and on a degenerate one-DC
+    topology whose every link tier equals the flat default (LAN), with
+    placement and structural-link resolution armed.  Geography is pure
+    transport shape: with identical link models the armed run must
+    schedule *identically* -- asserted on the full ledger digest, event
+    count and clock included.  The flat pass supplies the report's
+    events/s figure and digest, so the baseline gate gates the
+    ``geo is None`` hot path; the armed/flat ratio lands in ``extra``."""
+    from repro.config import GeoConfig, ProtocolConfig
+    from repro.geo.topology import Datacenter, Topology, Zone
+    from repro.net.link import LAN
+
+    txns = 150 if quick else 450
+
+    def one(config):
+        rt, _kv, _clients, driver, spec = build_kv_system(
+            seed=4242, n_cohorts=3, config=config
+        )
+        started = time.perf_counter()
+        run_kv_batch(rt, driver, spec, txns, read_fraction=0.5, concurrency=4)
+        rt.quiesce()
+        elapsed = time.perf_counter() - started
+        return rt, rt.sim.events_processed / max(elapsed, 1e-9)
+
+    one_dc = Topology(
+        (Datacenter("dc", (Zone("z", slots=8),)),),
+        intra_zone=LAN, intra_dc=LAN, cross_dc=LAN,
+    )
+    rt_flat, rate_flat = one(None)
+    rt_geo, rate_geo = one(
+        ProtocolConfig(geo=GeoConfig(topology=one_dc, placement="spread"))
+    )
+    if _digest(rt_flat) != _digest(rt_geo):
+        raise AssertionError(
+            "geo_overhead: LAN-equivalent topology scheduled differently "
+            f"from the flat network ({_digest(rt_flat)[:12]} != "
+            f"{_digest(rt_geo)[:12]})"
+        )
+    rt_flat.perf_extra = {
+        "events_per_sec_flat": round(rate_flat, 1),
+        "events_per_sec_geo": round(rate_geo, 1),
+        "geo_overhead_pct": round(100.0 * (1.0 - rate_geo / rate_flat), 2),
+        "structural_links": len(rt_geo.network.structural_links()),
+    }
+    return rt_flat
+
+
+def _geo_commit_latency(quick: bool):
+    """The E20(b) regime as a regression gate: the standard closed-loop
+    KV mix on a 3-datacenter topology under ``spread`` placement, so
+    every force commits on a cross-DC WAN quorum and the driver reads
+    route geographically from its home site.  Gates the geo transport
+    stack end to end -- structural link resolution, placement, sited
+    routing -- on the latency CI actually compares across commits."""
+    from repro.config import GeoConfig, ProtocolConfig
+    from repro.geo.topology import symmetric_topology
+
+    txns = 150 if quick else 450
+    config = ProtocolConfig(
+        geo=GeoConfig(
+            topology=symmetric_topology(n_dcs=3, zones_per_dc=2,
+                                        slots_per_zone=2),
+            placement="spread",
+        )
+    )
+    rt, _kv, _clients, driver, spec = build_kv_system(
+        seed=2020, n_cohorts=5, config=config, driver_site="dc-b/z1"
+    )
+    run_kv_batch(rt, driver, spec, txns, read_fraction=0.5, concurrency=4)
+    rt.quiesce()
+    return rt
+
+
 def _sharded_routing(quick: bool):
     txns = 60 if quick else 160
     rt, _sharded, _stats = run_sharded_workload(
@@ -472,6 +554,8 @@ SCENARIOS: List[Scenario] = [
     Scenario("batching_pipeline", 1819, "call_latency:kv", _batching_pipeline),
     Scenario("read_throughput", 1901, "driver_read_latency", _read_throughput),
     Scenario("lease_overhead", 4242, "call_latency:kv", _lease_overhead),
+    Scenario("geo_overhead", 4242, "call_latency:kv", _geo_overhead),
+    Scenario("geo_commit_latency", 2020, "call_latency:kv", _geo_commit_latency),
 ]
 
 

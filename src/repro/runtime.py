@@ -79,14 +79,52 @@ class Runtime:
         # repro.live attachment point; None = liveness checking disabled
         # (mirrors ``tracer``: nothing pays for the feature until armed).
         self.liveness = None
+        # repro.geo: ``topology is None`` = the paper's flat network; armed
+        # topologies place cohorts by policy and install structural links.
+        self.topology = None
+        self.placement = None
+        self.node_sites: Dict[str, str] = {}
+        geo = self.config.geo
+        if geo is not None and geo.topology is not None:
+            from repro.geo.placement import resolve_placement
+
+            self.topology = geo.topology
+            self.placement = resolve_placement(geo.placement)
+            self.location.attach_topology(self.topology)
 
     # -- factories ------------------------------------------------------------
 
-    def create_node(self, node_id: str) -> Node:
+    def create_node(self, node_id: str, site: Optional[str] = None) -> Node:
+        """Create a node, optionally placed at a topology *site*.
+
+        Placing a node installs structural link models (both directions)
+        between it and every previously placed node, derived from the
+        topology's intra-zone/intra-DC/cross-DC tiers.  Unplaced nodes
+        keep the flat default link to everyone.
+        """
         if node_id in self.nodes:
             raise ValueError(f"node {node_id!r} already exists")
+        if site is not None:
+            if self.topology is None:
+                raise ValueError(
+                    "create_node(site=...) requires ProtocolConfig.geo "
+                    "with a topology"
+                )
+            if not self.topology.has_site(site):
+                raise ValueError(
+                    f"unknown site {site!r} (have {list(self.topology.sites())})"
+                )
         node = Node(self.sim, node_id)
         self.nodes[node_id] = node
+        if site is not None:
+            for other_id, other_site in self.node_sites.items():
+                self.network.set_structural_link(
+                    node_id, other_id, self.topology.link_between(site, other_site)
+                )
+                self.network.set_structural_link(
+                    other_id, node_id, self.topology.link_between(other_site, site)
+                )
+            self.node_sites[node_id] = site
         return node
 
     def create_group(
@@ -119,11 +157,33 @@ class Runtime:
             # nodes, silently shadow the earlier group's runtime entry).
             raise ValueError(f"group {groupid!r} already exists in this runtime")
         if nodes is None:
-            nodes = [
-                self.create_node(f"{groupid}-n{i}") for i in range(n_cohorts)
-            ]
+            if self.placement is not None:
+                # Geo-armed: the placement policy assigns one site per mid
+                # (index order = mid order, so mid 0 -- the initial
+                # primary -- gets the policy's first site).
+                sites = self.placement.place(self.topology, groupid, n_cohorts)
+                if len(sites) != n_cohorts:
+                    raise ValueError(
+                        f"placement {self.placement.name!r} returned "
+                        f"{len(sites)} sites for {n_cohorts} cohorts"
+                    )
+                nodes = [
+                    self.create_node(f"{groupid}-n{i}", site=sites[i])
+                    for i in range(n_cohorts)
+                ]
+            else:
+                nodes = [
+                    self.create_node(f"{groupid}-n{i}") for i in range(n_cohorts)
+                ]
         group = ModuleGroup(self, groupid, spec, nodes, config=config)
         self.groups[groupid] = group
+        if self.topology is not None:
+            # Geo routing needs to know where each cohort *address* lives.
+            for mid in sorted(group.cohorts):
+                cohort = group.cohort(mid)
+                cohort_site = self.node_sites.get(cohort.node.node_id)
+                if cohort_site is not None:
+                    self.location.register_site(cohort.address, cohort_site)
         return group
 
     def sharded_group(
@@ -163,10 +223,30 @@ class Runtime:
         self.sharded[name] = sharded
         return sharded
 
-    def create_driver(self, name: str, node: Optional[Node] = None) -> Driver:
+    def create_driver(
+        self,
+        name: str,
+        node: Optional[Node] = None,
+        site: Optional[str] = None,
+    ) -> Driver:
+        """Create a workload driver, optionally homed at a topology *site*.
+
+        A sited driver pays structural (geo) delay to every placed node
+        and routes reads to the nearest serving replica when
+        ``GeoConfig.geo_routing`` is on.
+        """
         if node is None:
-            node = self.create_node(f"{name}-node")
+            node = self.create_node(f"{name}-node", site=site)
+        elif site is not None:
+            raise ValueError(
+                "pass site= only when create_driver creates the node; "
+                "an explicit node's site is fixed at create_node time"
+            )
         driver = Driver(node, self, name)
+        if self.topology is not None:
+            driver_site = self.node_sites.get(node.node_id)
+            if driver_site is not None:
+                self.location.register_site(driver.address, driver_site)
         self.drivers.append(driver)
         return driver
 

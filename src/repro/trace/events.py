@@ -76,6 +76,8 @@ EVENT_KINDS: Dict[str, str] = {
     "lease_read": "a leased primary served a linearizable local read",
     "lease_wait": "a new primary deferred activation past a lease bound",
     "stale_read": "a backup served a stale-bounded read from its prefix",
+    # geo routing (repro.geo, driver.py)
+    "geo_route": "a sited driver routed a read to its nearest serving replica",
 }
 
 

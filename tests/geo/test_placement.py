@@ -1,0 +1,134 @@
+"""Placement policies: site assignment per mid, runtime integration."""
+
+import pytest
+
+from repro import EmptyModule, GeoConfig, ProtocolConfig, Runtime
+from repro.geo.placement import (
+    PrimaryAffinity,
+    SingleDc,
+    Spread,
+    resolve_placement,
+)
+from repro.geo.topology import symmetric_topology
+
+TOPO = symmetric_topology(n_dcs=3, zones_per_dc=2, slots_per_zone=2)
+
+
+def dcs_of(sites):
+    return [site.split("/", 1)[0] for site in sites]
+
+
+# -- pure policy behaviour ---------------------------------------------------
+
+
+def test_spread_round_robins_datacenters():
+    sites = Spread().place(TOPO, "kv", 5)
+    assert dcs_of(sites) == ["dc-a", "dc-b", "dc-c", "dc-a", "dc-b"]
+    # Slot-weighted: dc-a's second visit still lands in z1 (2 slots).
+    assert sites[0] == "dc-a/z1" and sites[3] == "dc-a/z1"
+
+
+def test_spread_cursors_persist_across_groups():
+    policy = Spread()
+    for _ in range(2):  # consume both z1 slots in every DC
+        policy.place(TOPO, "g", 3)
+    third = policy.place(TOPO, "g3", 3)
+    assert dcs_of(third) == ["dc-a", "dc-b", "dc-c"]
+    assert third == ["dc-a/z2", "dc-b/z2", "dc-c/z2"]  # cursors advanced
+
+
+def test_single_dc_pinned():
+    sites = SingleDc("dc-b").place(TOPO, "kv", 3)
+    assert dcs_of(sites) == ["dc-b", "dc-b", "dc-b"]
+    with pytest.raises(ValueError):
+        SingleDc("mars").place(TOPO, "kv", 3)
+
+
+def test_single_dc_round_robins_whole_groups():
+    policy = SingleDc()
+    assert dcs_of(policy.place(TOPO, "g0", 3)) == ["dc-a"] * 3
+    assert dcs_of(policy.place(TOPO, "g1", 3)) == ["dc-b"] * 3
+    assert dcs_of(policy.place(TOPO, "g2", 3)) == ["dc-c"] * 3
+    assert dcs_of(policy.place(TOPO, "g3", 3)) == ["dc-a"] * 3
+
+
+def test_primary_affinity_places_bare_majority_in_region():
+    sites = PrimaryAffinity("dc-b").place(TOPO, "kv", 5)
+    # mids 0-2 (a bare majority, led by the initial primary) in dc-b,
+    # the rest round-robin the other DCs.
+    assert dcs_of(sites) == ["dc-b", "dc-b", "dc-b", "dc-a", "dc-c"]
+
+
+def test_primary_affinity_small_group_and_unknown_region():
+    assert dcs_of(PrimaryAffinity("dc-c").place(TOPO, "kv", 1)) == ["dc-c"]
+    with pytest.raises(ValueError):
+        PrimaryAffinity("mars").place(TOPO, "kv", 3)
+
+
+def test_resolve_placement_specs():
+    assert isinstance(resolve_placement("spread"), Spread)
+    assert resolve_placement("single_dc").dc is None
+    assert resolve_placement("single_dc:dc-b").dc == "dc-b"
+    assert resolve_placement("primary_affinity:dc-a").region == "dc-a"
+    policy = Spread()
+    assert resolve_placement(policy) is policy
+    for bad in ("primary_affinity", "spread:dc-a", "nope"):
+        with pytest.raises(ValueError):
+            resolve_placement(bad)
+
+
+# -- runtime integration -----------------------------------------------------
+
+
+def geo_runtime(placement, seed=11):
+    return Runtime(
+        seed=seed,
+        config=ProtocolConfig(geo=GeoConfig(topology=TOPO, placement=placement)),
+    )
+
+
+def test_create_group_consults_placement():
+    rt = geo_runtime("spread")
+    kv = rt.create_group("kv", EmptyModule(), n_cohorts=5)
+    sites = [rt.node_sites[f"kv-n{i}"] for i in range(5)]
+    assert dcs_of(sites) == ["dc-a", "dc-b", "dc-c", "dc-a", "dc-b"]
+    # Cohort addresses are registered with the location service.
+    for mid in range(5):
+        assert rt.location.site_of(kv.cohort(mid).address) == sites[mid]
+
+
+def test_structural_links_installed_between_placed_nodes():
+    rt = geo_runtime("spread")
+    rt.create_group("kv", EmptyModule(), n_cohorts=3)
+    links = rt.network.structural_links()
+    # kv-n0 (dc-a/z1) -> kv-n1 (dc-b/z1) is a cross-DC pair, both ways.
+    assert links[("kv-n0", "kv-n1")] is TOPO.cross_dc
+    assert links[("kv-n1", "kv-n0")] is TOPO.cross_dc
+    assert not rt.network.disrupted()
+
+
+def test_sharded_group_lands_one_shard_per_dc():
+    rt = geo_runtime("single_dc")
+    rt.sharded_group("bank", n_shards=3, n_cohorts=3)
+    for shard, dc in (("bank-s0", "dc-a"), ("bank-s1", "dc-b"),
+                      ("bank-s2", "dc-c")):
+        shard_dcs = {
+            TOPO.dc_of(rt.node_sites[f"{shard}-n{i}"]) for i in range(3)
+        }
+        assert shard_dcs == {dc}
+
+
+def test_explicit_site_requires_known_site():
+    rt = geo_runtime("spread")
+    with pytest.raises(ValueError):
+        rt.create_node("loner", site="mars/z1")
+    flat = Runtime(seed=11)
+    with pytest.raises(ValueError):
+        flat.create_node("loner", site="dc-a/z1")  # no topology armed
+
+
+def test_flat_runtime_places_nothing():
+    rt = Runtime(seed=11)
+    rt.create_group("kv", EmptyModule(), n_cohorts=3)
+    assert rt.node_sites == {}
+    assert rt.network.structural_links() == {}

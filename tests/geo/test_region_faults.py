@@ -1,0 +1,137 @@
+"""Region-scale faults: partition_region, degrade_wan, nemesis rules."""
+
+import pytest
+
+from repro import EmptyModule, GeoConfig, Nemesis, ProtocolConfig, Runtime
+from repro.geo.topology import symmetric_topology
+
+TOPO = symmetric_topology(n_dcs=3, zones_per_dc=2, slots_per_zone=2)
+
+
+def geo_runtime(seed=9, placement="spread"):
+    rt = Runtime(
+        seed=seed,
+        config=ProtocolConfig(geo=GeoConfig(topology=TOPO, placement=placement)),
+    )
+    rt.create_group("kv", EmptyModule(), n_cohorts=5)
+    return rt
+
+
+# -- partition_region --------------------------------------------------------
+
+
+def test_partition_region_isolates_one_datacenter():
+    rt = geo_runtime()
+    isolated = rt.faults.partition_region("dc-a")
+    assert isolated == rt.faults.region_nodes("dc-a")
+    assert set(isolated) == {"kv-n0", "kv-n3"}  # spread: mids 0, 3 in dc-a
+    # Cross-region traffic is cut; intra-region and other-region traffic
+    # (implicit leftover block) still flows.
+    assert not rt.network.can_communicate("kv/0", "kv/1")
+    assert rt.network.can_communicate("kv/1", "kv/2")  # dc-b <-> dc-c
+    assert rt.network.can_communicate("kv/0", "kv/3")  # within dc-a
+    assert rt.faults.count("region_partition") == 1
+
+
+def test_partition_region_validates_region():
+    rt = geo_runtime()
+    with pytest.raises(ValueError):
+        rt.faults.partition_region("mars")
+    flat = Runtime(seed=9)
+    with pytest.raises(ValueError, match="topology"):
+        flat.faults.partition_region("dc-a")
+
+
+def test_heal_all_restores_region_but_keeps_structure():
+    rt = geo_runtime()
+    structure_before = rt.network.structural_links()
+    rt.faults.partition_region("dc-b")
+    rt.faults.heal_all()
+    assert rt.network.can_communicate("kv/0", "kv/1")
+    assert not rt.network.disrupted()
+    assert rt.network.structural_links() == structure_before
+
+
+# -- degrade_wan / restore_wan -----------------------------------------------
+
+
+def test_degrade_wan_touches_only_cross_dc_pairs():
+    rt = geo_runtime()
+    degraded = rt.faults.degrade_wan(factor=2.0, loss=0.1)
+    assert degraded > 0
+    overrides = rt.network.link_overrides()
+    assert len(overrides) == degraded
+    assert rt.network.disrupted()
+    for (src, dst), model in overrides.items():
+        src_dc = TOPO.dc_of(rt.location.site_of(src))
+        dst_dc = TOPO.dc_of(rt.location.site_of(dst))
+        assert src_dc != dst_dc
+        assert model.base_delay == TOPO.cross_dc.base_delay * 2.0
+        assert model.loss_probability == 0.1
+
+
+def test_restore_wan_clears_all_overrides():
+    rt = geo_runtime()
+    rt.faults.degrade_wan()
+    rt.faults.restore_wan()
+    assert rt.network.link_overrides() == {}
+    assert not rt.network.disrupted()
+    assert rt.faults.count("restore_wan") == 1
+    # Structure survives, and the WAN can be degraded again cleanly.
+    assert rt.network.structural_links()
+    assert rt.faults.degrade_wan() > 0
+
+
+def test_degrade_wan_requires_topology():
+    flat = Runtime(seed=9)
+    with pytest.raises(ValueError, match="topology"):
+        flat.faults.degrade_wan()
+
+
+# -- nemesis rules -----------------------------------------------------------
+
+
+def run_nemesis(seed, nemesis_builder, duration=3000.0):
+    rt = geo_runtime(seed=seed)
+    nemesis = nemesis_builder(Nemesis("geo-test"))
+    rt.inject(nemesis)
+    rt.run(until=duration)
+    rt.faults.stop()
+    return rt
+
+
+def test_region_partition_rule_cuts_and_heals():
+    rt = run_nemesis(
+        13,
+        lambda n: n.region_partition(region="dc-b", every=600.0,
+                                     duration=200.0, count=2),
+    )
+    assert rt.faults.count("region_partition") == 2
+    assert rt.network.partition_blocks() is None  # healed after each episode
+
+
+def test_region_partition_rule_random_region_is_seeded():
+    def regions(seed):
+        rt = run_nemesis(
+            seed,
+            lambda n: n.region_partition(region="random", every=500.0,
+                                         duration=150.0, count=3),
+        )
+        return [
+            fault.target for fault in rt.faults.timeline
+            if fault.kind == "region_partition"
+        ]
+
+    assert regions(21) == regions(21)  # same seed, same draw
+    assert len(regions(21)) == 3
+
+
+def test_wan_degradation_rule_alternates_and_restores():
+    rt = run_nemesis(
+        17,
+        lambda n: n.wan_degradation(mean_healthy=400.0, mean_degraded=200.0,
+                                    factor=2.0, loss=0.05),
+    )
+    assert rt.faults.count("wan_degradation") >= 1
+    rt.faults.restore_wan()
+    assert rt.network.link_overrides() == {}

@@ -1,0 +1,127 @@
+"""Topology: validation, site addressing, derived link-model tiers."""
+
+import pytest
+
+from repro.geo.topology import (
+    CROSS_DC,
+    INTRA_DC,
+    INTRA_ZONE,
+    Datacenter,
+    Topology,
+    Zone,
+    symmetric_topology,
+)
+from repro.net.link import LinkModel
+
+
+def two_dc():
+    return Topology((
+        Datacenter("east", (Zone("z1", slots=2), Zone("z2"))),
+        Datacenter("west", (Zone("z1"),)),
+    ))
+
+
+# -- validation --------------------------------------------------------------
+
+
+def test_zone_name_must_be_slash_free():
+    with pytest.raises(ValueError):
+        Zone("a/b")
+    with pytest.raises(ValueError):
+        Zone("")
+
+
+def test_zone_needs_a_slot():
+    with pytest.raises(ValueError):
+        Zone("z1", slots=0)
+
+
+def test_datacenter_needs_zones_and_unique_names():
+    with pytest.raises(ValueError):
+        Datacenter("dc", ())
+    with pytest.raises(ValueError):
+        Datacenter("dc", (Zone("z1"), Zone("z1")))
+    with pytest.raises(ValueError):
+        Datacenter("d/c", (Zone("z1"),))
+
+
+def test_topology_rejects_duplicate_datacenters():
+    dc = Datacenter("east", (Zone("z1"),))
+    with pytest.raises(ValueError):
+        Topology((dc, dc))
+    with pytest.raises(ValueError):
+        Topology(())
+
+
+def test_pair_overrides_must_name_known_datacenters():
+    with pytest.raises(ValueError):
+        Topology(
+            (Datacenter("east", (Zone("z1"),)),),
+            pair_overrides={("east", "mars"): INTRA_DC},
+        )
+
+
+# -- site addressing ---------------------------------------------------------
+
+
+def test_sites_and_dc_of():
+    topo = two_dc()
+    assert topo.sites() == ("east/z1", "east/z2", "west/z1")
+    assert topo.has_site("east/z2")
+    assert not topo.has_site("east/z9")
+    assert topo.dc_of("west/z1") == "west"
+    with pytest.raises(ValueError):
+        topo.dc_of("mars/z1")
+
+
+def test_sites_of_is_slot_weighted():
+    topo = two_dc()
+    # east/z1 has 2 slots: it appears twice in the placement cycle.
+    assert topo.sites_of("east") == ("east/z1", "east/z1", "east/z2")
+    assert topo.slot_count() == 4
+    with pytest.raises(ValueError):
+        topo.sites_of("mars")
+
+
+# -- link tiers --------------------------------------------------------------
+
+
+def test_link_between_tiers():
+    topo = two_dc()
+    assert topo.link_between("east/z1", "east/z1") is INTRA_ZONE
+    assert topo.link_between("east/z1", "east/z2") is INTRA_DC
+    assert topo.link_between("east/z1", "west/z1") is CROSS_DC
+    with pytest.raises(ValueError):
+        topo.link_between("east/z1", "mars/z1")
+
+
+def test_pair_override_is_directional():
+    fat_pipe = LinkModel(base_delay=4.0, jitter=1.0)
+    topo = Topology(
+        (
+            Datacenter("east", (Zone("z1"),)),
+            Datacenter("west", (Zone("z1"),)),
+        ),
+        pair_overrides={("east", "west"): fat_pipe},
+    )
+    assert topo.link_between("east/z1", "west/z1") is fat_pipe
+    assert topo.link_between("west/z1", "east/z1") is CROSS_DC
+
+
+def test_distance_is_base_delay():
+    topo = two_dc()
+    assert topo.distance("east/z1", "west/z1") == CROSS_DC.base_delay
+    assert topo.distance("east/z1", "east/z2") == INTRA_DC.base_delay
+
+
+def test_symmetric_topology_shape():
+    topo = symmetric_topology(n_dcs=3, zones_per_dc=2, slots_per_zone=2)
+    assert topo.dc_names() == ("dc-a", "dc-b", "dc-c")
+    assert topo.sites_of("dc-b") == ("dc-b/z1", "dc-b/z1", "dc-b/z2", "dc-b/z2")
+    assert topo.slot_count() == 12
+    with pytest.raises(ValueError):
+        symmetric_topology(n_dcs=0)
+
+
+def test_describe_lists_zones_and_slots():
+    assert two_dc().describe() == "east: z1(2), z2(1)\nwest: z1(1)"

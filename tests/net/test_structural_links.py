@@ -1,0 +1,226 @@
+"""Structural (topology) link models vs fault overrides.
+
+Structural models are the network's permanent shape (repro.geo installs
+them from a Topology); fault overrides are injected disruptions.  The
+two layers must stay separable: faults win while active, healing a fault
+never flattens the geography, and :meth:`Network.disrupted` -- which
+pauses repro.live liveness windows -- must count only fault state.
+"""
+
+import dataclasses
+
+from repro.net.link import LinkModel
+from repro.net.messages import Message
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.sim.node import Actor, Node
+
+SLOW = LinkModel(base_delay=20.0, jitter=0.0)
+FAST = LinkModel(base_delay=2.0, jitter=0.0)
+FAULT = LinkModel(base_delay=80.0, jitter=0.0)
+
+
+@dataclasses.dataclass
+class Ping(Message):
+    payload: str = "ping"
+
+
+class Sink(Actor):
+    def __init__(self, node, address, network):
+        super().__init__(node, address)
+        self.received = []
+        network.register(self)
+
+    def handle_message(self, message, source):
+        self.received.append((message, source, self.sim.now))
+
+
+def build(n=2, seed=0):
+    sim = Simulator(seed=seed)
+    net = Network(sim, link=LinkModel(base_delay=1.0, jitter=0.0))
+    nodes = [Node(sim, f"n{i}") for i in range(n)]
+    actors = [Sink(nodes[i], f"a{i}", net) for i in range(n)]
+    return sim, net, nodes, actors
+
+
+def arrival(actor, index=-1):
+    return actor.received[index][2]
+
+
+# -- structural resolution ---------------------------------------------------
+
+
+def test_structural_link_shapes_delay():
+    sim, net, _nodes, actors = build()
+    net.set_structural_link("n0", "n1", SLOW)
+    net.send("a0", "a1", Ping())
+    sim.run()
+    assert arrival(actors[1]) == 20.0
+
+
+def test_structural_link_is_directional():
+    sim, net, _nodes, actors = build()
+    net.set_structural_link("n0", "n1", SLOW)
+    net.send("a1", "a0", Ping())  # reverse direction not installed
+    sim.run()
+    assert arrival(actors[0]) == 1.0
+
+
+def test_unplaced_pair_falls_through_to_default_link():
+    sim, net, _nodes, actors = build(n=3)
+    net.set_structural_link("n0", "n1", SLOW)
+    net.send("a0", "a2", Ping())
+    sim.run()
+    assert arrival(actors[2]) == 1.0
+
+
+def test_unplaced_pair_tracks_default_link_swap():
+    """The None cache sentinel means "use the *current* default", so a
+    lossy()-style default swap still reaches pairs without structure."""
+    sim, net, _nodes, actors = build(n=3)
+    net.set_structural_link("n0", "n1", SLOW)
+    net.send("a0", "a2", Ping())  # primes the cache with None
+    sim.run()
+    net.link = FAST
+    net.send("a0", "a2", Ping())
+    at = sim.now
+    sim.run()
+    assert arrival(actors[2]) == at + 2.0
+
+
+def test_structural_install_invalidates_cache():
+    sim, net, _nodes, actors = build()
+    net.send("a0", "a1", Ping())  # caches "no structure" for (a0, a1)
+    sim.run()
+    net.set_structural_link("n0", "n1", SLOW)
+    at = sim.now
+    net.send("a0", "a1", Ping())
+    sim.run()
+    assert arrival(actors[1]) == at + 20.0
+
+
+def test_clear_structural_links_restores_flat_network():
+    sim, net, _nodes, actors = build()
+    net.set_structural_link("n0", "n1", SLOW)
+    net.clear_structural_links()
+    net.send("a0", "a1", Ping())
+    sim.run()
+    assert arrival(actors[1]) == 1.0
+    assert net.structural_links() == {}
+
+
+# -- fault overrides vs structure --------------------------------------------
+
+
+def test_fault_override_beats_structural_model():
+    sim, net, _nodes, actors = build()
+    net.set_structural_link("n0", "n1", SLOW)
+    net.set_link_model("a0", "a1", FAULT)
+    net.send("a0", "a1", Ping())
+    sim.run()
+    assert arrival(actors[1]) == 80.0
+
+
+def test_clearing_fault_override_reveals_structure_again():
+    sim, net, _nodes, actors = build()
+    net.set_structural_link("n0", "n1", SLOW)
+    net.set_link_model("a0", "a1", FAULT)
+    net.clear_link_override("a0", "a1")
+    net.send("a0", "a1", Ping())
+    sim.run()
+    assert arrival(actors[1]) == 20.0
+
+
+def test_clear_link_overrides_keeps_structural_links():
+    sim, net, _nodes, actors = build()
+    net.set_structural_link("n0", "n1", SLOW)
+    net.set_link_model("a0", "a1", FAULT)
+    net.clear_link_overrides()
+    assert net.link_overrides() == {}
+    assert ("n0", "n1") in net.structural_links()
+    net.send("a0", "a1", Ping())
+    sim.run()
+    assert arrival(actors[1]) == 20.0
+
+
+# -- disrupted(): only fault state counts ------------------------------------
+
+
+def test_structural_links_are_not_a_disruption():
+    _sim, net, _nodes, _actors = build()
+    net.set_structural_link("n0", "n1", SLOW)
+    net.set_structural_link("n1", "n0", SLOW)
+    assert not net.disrupted()
+
+
+def test_fault_override_is_a_disruption_until_cleared():
+    _sim, net, _nodes, _actors = build()
+    net.set_structural_link("n0", "n1", SLOW)
+    net.set_link_model("a0", "a1", FAULT)
+    assert net.disrupted()
+    net.clear_link_override("a0", "a1")
+    assert not net.disrupted()  # structure alone never disrupts
+
+
+def test_partition_and_heal_leave_structure_intact():
+    sim, net, _nodes, actors = build()
+    net.set_structural_link("n0", "n1", SLOW)
+    net.partition([{"n0"}, {"n1"}])
+    assert net.disrupted()
+    net.heal()
+    assert not net.disrupted()
+    net.send("a0", "a1", Ping())
+    sim.run()
+    assert arrival(actors[1]) == 20.0
+
+
+# -- set_link_model_pair and override directionality -------------------------
+
+
+def test_set_link_model_pair_overrides_both_directions():
+    sim, net, _nodes, actors = build()
+    net.set_link_model_pair("a0", "a1", FAULT)
+    net.send("a0", "a1", Ping())
+    net.send("a1", "a0", Ping())
+    sim.run()
+    assert arrival(actors[1]) == 80.0
+    assert arrival(actors[0]) == 80.0
+
+
+def test_set_link_model_is_one_directed_pair_only():
+    sim, net, _nodes, actors = build()
+    net.set_link_model("a0", "a1", FAULT)
+    net.send("a0", "a1", Ping())
+    net.send("a1", "a0", Ping())
+    sim.run()
+    assert arrival(actors[1]) == 80.0
+    assert arrival(actors[0]) == 1.0  # return path untouched
+
+
+def test_clear_link_override_is_directional():
+    sim, net, _nodes, actors = build()
+    net.set_link_model_pair("a0", "a1", FAULT)
+    net.clear_link_override("a0", "a1")
+    assert net.disrupted()  # a1 -> a0 still overridden
+    net.send("a0", "a1", Ping())
+    net.send("a1", "a0", Ping())
+    sim.run()
+    assert arrival(actors[1]) == 1.0
+    assert arrival(actors[0]) == 80.0
+
+
+def test_oneway_repair_leaves_other_direction_failed():
+    """repair_link_oneway on one direction must not heal the reverse --
+    and the leftover directed failure still counts as a disruption."""
+    sim, net, _nodes, actors = build()
+    net.fail_link_oneway("n0", "n1")
+    net.fail_link_oneway("n1", "n0")
+    net.repair_link_oneway("n0", "n1")
+    assert net.disrupted()
+    net.send("a0", "a1", Ping())
+    net.send("a1", "a0", Ping())
+    sim.run()
+    assert len(actors[1].received) == 1
+    assert actors[0].received == []
+    net.repair_link_oneway("n1", "n0")
+    assert not net.disrupted()
