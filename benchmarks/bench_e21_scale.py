@@ -1,0 +1,26 @@
+"""Experiment E21: cohort scaling -- gossip, ack trees, witnesses at n=100.
+
+Regenerates the E21 table of EXPERIMENTS.md.
+"""
+
+from repro.harness import e21_cohort_scale
+
+from helpers import run_experiment
+
+
+def test_e21_cohort_scale(benchmark):
+    result = run_experiment(benchmark, e21_cohort_scale)
+    assert result.rows, "experiment produced no rows"
+    by_cell = {(row[0], row[1]): row for row in result.rows}
+    largest = max(row[0] for row in result.rows)
+    txns = result.rows[0][7]
+    # (a) every cell formed a post-crash view and committed its full load.
+    for (n, mode), row in by_cell.items():
+        assert row[7] == txns, f"n={n} {mode} lost writes: {row}"
+        assert row[5] != "inf", f"n={n} {mode} never re-formed: {row}"
+    # (b) the headline claim: all-on cuts the primary's per-interval
+    # message load at least 5x at the largest size measured.
+    cut = float(by_cell[(largest, "all")][4].rstrip("x"))
+    assert cut >= 5.0, f"all-on primary cut only {cut}x at n={largest}"
+    # (c) "sustained" verdict made it into the notes.
+    assert "sustained" in result.notes, result.notes

@@ -48,6 +48,7 @@ from repro.config import (
     GeoConfig,
     ProtocolConfig,
     ReadConfig,
+    ScaleConfig,
     TimingConfig,
     TraceConfig,
 )
@@ -96,6 +97,7 @@ __all__ = [
     "ReadConfig",
     "ReadResult",
     "Runtime",
+    "ScaleConfig",
     "ShardMap",
     "ShardedGroup",
     "StableStoragePolicy",

@@ -186,6 +186,62 @@ class GeoConfig:
     geo_routing: bool = True
 
 
+@dataclasses.dataclass
+class ScaleConfig:
+    """Large-cohort mechanisms: gossip, ack trees, witnesses (docs/SCALE.md).
+
+    ``ProtocolConfig.scale`` defaults to ``None`` -- the paper-faithful
+    cohort where every backup talks directly to the primary, byte-identical
+    to the pre-scale schedules (perf-gated by the ``scale_overhead``
+    scenario and proven by ``python -m repro.scale.gate``).  Each mechanism
+    below is independently toggleable; ``ScaleConfig()`` with all three off
+    also reproduces the baseline schedule exactly.
+
+    - ``gossip``: instead of every cohort heartbeating every peer
+      (O(n^2) I'm-alive traffic, with the primary an O(n) hub), each
+      cohort heartbeats ``gossip_fanout`` seeded-random peers per period
+      and piggybacks recent liveness *evidence* -- ``(mid, heard_at)``
+      pairs -- which receivers fold into the accrual detector via
+      :meth:`repro.detect.FailureDetector.heard_relayed` (advancing
+      last-heard without polluting the RTT/interval estimators, since a
+      relay hop is not an RTT sample).
+    - ``ack_tree``: storage backups forward their cumulative buffer acks
+      up a deterministic ``ack_fanout``-ary tree (sorted by module id)
+      instead of straight to the primary; interior nodes coalesce their
+      subtree's ``(mid, acked_ts)`` pairs for ``ack_delay`` before
+      forwarding, so the primary's ack fan-in is O(fanout), not O(n).
+      Composes with :class:`BatchConfig` ack coalescing.
+    - ``witnesses``: the highest ``witnesses`` module ids in each group
+      vote in view formation (their acceptances count toward the
+      majority) but hold no event buffer -- the primary never replicates
+      records to them, shrinking fan-out from n-1 to n-1-witnesses.
+      Bounded by ``witnesses <= n - majority(n)`` so every force quorum
+      still consists entirely of storage replicas.
+    """
+
+    #: Epidemic heartbeat dissemination (off = all-peers heartbeats).
+    gossip: bool = False
+    #: Peers each heartbeat round targets when gossip is on.
+    gossip_fanout: int = 3
+    #: Evidence freshness window, in ``im_alive_interval`` units: only
+    #: peers heard within this horizon are relayed as evidence.
+    evidence_horizon_intervals: float = 3.0
+    #: Aggregate buffer acks up a fan-in tree (off = acks go direct).
+    ack_tree: bool = False
+    #: Fan-in of the ack tree (children per interior node, and the number
+    #: of tree roots reporting directly to the primary).
+    ack_fanout: int = 4
+    #: Coalescing delay before an interior node forwards its subtree's
+    #: aggregated acks upward.
+    ack_delay: float = 0.5
+    #: Bufferless voting members per group (0 = every member replicates).
+    witnesses: int = 0
+
+    def any_enabled(self) -> bool:
+        """True iff some mechanism actually changes the wire protocol."""
+        return self.gossip or self.ack_tree or self.witnesses > 0
+
+
 #: Names of the knobs mirrored between TimingConfig and ProtocolConfig.
 _TIMING_FIELDS: Tuple[str, ...] = tuple(
     field.name for field in dataclasses.fields(TimingConfig)
@@ -309,6 +365,10 @@ class ProtocolConfig:
     # Unlike batch/reads, geo is NOT auto-instantiated: ``geo is None``
     # (or a GeoConfig without a topology) is the flat-network fast path.
     geo: Optional[GeoConfig] = None
+    # Like geo, scale is NOT auto-instantiated: ``scale is None`` (or a
+    # ScaleConfig with every mechanism off) is the paper-faithful cohort
+    # fast path, byte-identical to pre-scale schedules.
+    scale: Optional[ScaleConfig] = None
 
     def __post_init__(self) -> None:
         if self.batch is None:

@@ -318,19 +318,29 @@ class CommunicationBuffer:
         )
 
     def on_ack(self, ack: BufferAckMsg) -> None:
-        """Process a cumulative ack from a backup."""
+        """Process a cumulative ack from a backup.
+
+        With ack trees armed (repro.scale) the message may carry an
+        aggregated subtree of ``(mid, acked_ts)`` pairs in ``agg``; an
+        empty ``agg`` is the classic single-backup ack.  Acks are
+        max-merged per mid, so stale relayed entries are harmless.
+        """
         if self.closed or ack.viewid != self.viewid:
             return
-        if ack.mid not in self.acked:
-            return  # excluded backup (unilateral edit) or stray
-        if ack.acked_ts > self.acked[ack.mid]:
-            self.acked[ack.mid] = ack.acked_ts
-            if self._batch_enabled:
-                if ack.acked_ts > self._sent.get(ack.mid, 0):
-                    self._sent[ack.mid] = ack.acked_ts
-                # An advancing ack opens window space: keep the pipe full.
-                if self._unsent_backups():
-                    self.request_flush()
+        pairs = ack.agg if ack.agg else ((ack.mid, ack.acked_ts),)
+        advanced = False
+        for mid, acked_ts in pairs:
+            if mid not in self.acked:
+                continue  # excluded backup (unilateral edit) or stray
+            if acked_ts > self.acked[mid]:
+                self.acked[mid] = acked_ts
+                advanced = True
+                if self._batch_enabled and acked_ts > self._sent.get(mid, 0):
+                    self._sent[mid] = acked_ts
+        if advanced:
+            # An advancing ack opens window space: keep the pipe full.
+            if self._batch_enabled and self._unsent_backups():
+                self.request_flush()
             self._check_forces()
             self._trim()
 

@@ -111,6 +111,29 @@ class Cohort(Actor):
             else None
         )
 
+        # -- large-cohort mechanisms (repro.scale; None = paper-faithful).
+        # A ScaleConfig with every mechanism off is normalized to None so
+        # the hot paths keep a single `scale is None` fast test.
+        scale = config.scale
+        if scale is not None and not scale.any_enabled():
+            scale = None
+        self.scale = scale
+        self._witnesses: frozenset = frozenset()
+        self._gossip_rng = None
+        self._ack_children: Dict[int, int] = {}
+        self._ack_children_viewid: Optional[ViewId] = None
+        self._ack_tree = None
+        self._ack_tree_key = None
+        self._ack_fwd_armed = False
+        self._witness_install_pending: set = set()
+        if scale is not None:
+            from repro.scale import witness_mids
+
+            if scale.witnesses > 0:
+                self._witnesses = witness_mids(len(configuration), scale.witnesses)
+            if scale.gossip:
+                self._gossip_rng = runtime.sim.rng.fork(f"gossip/{address}")
+
         # -- gstate --
         self.store = ObjectStore()
         for uid, value in spec.initial_objects().items():
@@ -191,6 +214,17 @@ class Cohort(Actor):
     def config_size(self) -> int:
         return len(self.configuration)
 
+    @property
+    def is_witness(self) -> bool:
+        """A bufferless voting member (repro.scale witnesses)."""
+        return self.mymid in self._witnesses
+
+    def _storage_backups(self, backups) -> Tuple[int, ...]:
+        """Backups that hold an event buffer (witnesses excluded)."""
+        if not self._witnesses:
+            return tuple(backups)
+        return tuple(b for b in backups if b not in self._witnesses)
+
     def peer_address(self, mid: int) -> str:
         for peer, address in self.configuration:
             if peer == mid:
@@ -232,6 +266,9 @@ class Cohort(Actor):
         if isinstance(message, m.InitViewMsg):
             self.view_change.on_init_view(message)
             return
+        if isinstance(message, m.WitnessInstallMsg):
+            self.view_change.on_witness_install(message)
+            return
         if isinstance(message, m.BufferMsg):
             self._handle_buffer_msg(message)
             return
@@ -249,6 +286,21 @@ class Cohort(Actor):
                 and self.is_active_primary
             ):
                 self._note_lease_grant(message.mid, message.lease_until)
+            if self._witness_install_pending:
+                # A witness confirmed its view install (acked_ts is 0; a
+                # witness applies nothing) -- stop retransmitting to it.
+                self._witness_install_pending.discard(message.mid)
+            if (
+                self.scale is not None
+                and self.scale.ack_tree
+                and not self.is_primary
+                and self.status is Status.ACTIVE
+                and message.viewid == self.cur_viewid
+            ):
+                # Ack-tree interior node: fold the child's subtree into
+                # ours and forward upward after a coalescing delay.
+                self._on_child_ack(message)
+                return
             if self.is_active_primary and self.buffer is not None:
                 self.buffer.on_ack(message)
             return
@@ -450,6 +502,8 @@ class Cohort(Actor):
     # ------------------------------------------------------------------
 
     def _handle_buffer_msg(self, msg: m.BufferMsg) -> None:
+        if self.is_witness:
+            return  # witnesses hold no event buffer (repro.scale)
         if self.status is Status.UNDERLING:
             self.view_change.on_buffer_while_underling(msg)
             return
@@ -541,25 +595,107 @@ class Cohort(Actor):
 
     def _send_ack_now(self) -> None:
         batch = self.config.batch
+        dest = self.cur_view.primary
+        agg: Tuple[Tuple[int, int], ...] = ()
+        if self.scale is not None and self.scale.ack_tree:
+            dest, agg = self._ack_tree_route()
         sent_at = None
         if batch.enabled and batch.piggyback_liveness:
             sent_at = self.sim.now
-            self._last_liveness_sent[self.cur_view.primary] = self.sim.now
+            self._last_liveness_sent[dest] = self.sim.now
         lease_until = None
-        if self.reads is not None and self.status is Status.ACTIVE:
+        if (
+            self.reads is not None
+            and self.status is Status.ACTIVE
+            and dest == self.cur_view.primary
+        ):
             # Every ack renews the read lease; under steady buffer traffic
-            # the explicit heartbeat grants are pure backup.
-            lease_until = self.reads.make_promise(self.cur_view.primary)
+            # the explicit heartbeat grants are pure backup.  (Tree-routed
+            # acks skip the grant: the primary would never see it.)
+            lease_until = self.reads.make_promise(dest)
         self.send_mid(
-            self.cur_view.primary,
+            dest,
             m.BufferAckMsg(
                 viewid=self.cur_viewid,
                 acked_ts=self.applied_ts,
                 mid=self.mymid,
                 sent_at=sent_at,
                 lease_until=lease_until,
+                agg=agg,
             ),
         )
+
+    # -- ack trees (repro.scale) ---------------------------------------------
+
+    def _ack_tree_for_view(self):
+        """The fan-in tree for the current view, cached per view."""
+        key = (self.cur_viewid, self.cur_view.backups)
+        if self._ack_tree_key != key:
+            from repro.scale import AckTree
+
+            self._ack_tree = AckTree(
+                self.cur_view.primary,
+                self._storage_backups(self.cur_view.backups),
+                self.scale.ack_fanout,
+            )
+            self._ack_tree_key = key
+        return self._ack_tree
+
+    def _ack_tree_route(self) -> Tuple[int, Tuple[Tuple[int, int], ...]]:
+        """Destination and aggregated (mid, acked_ts) pairs for our ack."""
+        tree = self._ack_tree_for_view()
+        pairs = {self.mymid: self.applied_ts}
+        if self._ack_children_viewid == self.cur_viewid:
+            for mid, ts in self._ack_children.items():
+                if ts > pairs.get(mid, -1):
+                    pairs[mid] = ts
+        parent = tree.parent(self.mymid)
+        if parent != self.cur_view.primary and self._is_suspect(parent):
+            # A dead interior node must not orphan its subtree: bypass it.
+            parent = self.cur_view.primary
+        return parent, tuple(sorted(pairs.items()))
+
+    def _on_child_ack(self, msg: m.BufferAckMsg) -> None:
+        """Ack-tree interior node: fold a child's (aggregated) ack into ours
+        and forward the merged subtree upward after ``ack_delay``."""
+        if self.cur_view is None:
+            return
+        if self._ack_children_viewid != self.cur_viewid:
+            self._ack_children = {}
+            self._ack_children_viewid = self.cur_viewid
+        pairs = msg.agg if msg.agg else ((msg.mid, msg.acked_ts),)
+        for mid, ts in pairs:
+            if mid == self.mymid:
+                continue
+            if ts > self._ack_children.get(mid, -1):
+                self._ack_children[mid] = ts
+        if self._ack_fwd_armed:
+            return
+        self._ack_fwd_armed = True
+        epoch = self._epoch
+        viewid = self.cur_viewid
+
+        def forward() -> None:
+            self._ack_fwd_armed = False
+            if (
+                self._epoch != epoch
+                or self.status is not Status.ACTIVE
+                or self.cur_viewid != viewid
+                or self.is_primary
+            ):
+                return
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "ack_tree",
+                    node=self.node.node_id,
+                    group=self.mygroupid,
+                    mid=self.mymid,
+                    children=len(self._ack_children),
+                    acked_ts=self.applied_ts,
+                )
+            self._send_ack_now()
+
+        self.set_timer(self.scale.ack_delay, forward)
 
     # ------------------------------------------------------------------
     # queries (section 3.4)
@@ -686,6 +822,10 @@ class Cohort(Actor):
         if self.status is not Status.ACTIVE or not self.up_to_date:
             reject("not_active")
             return
+        if self.is_witness:
+            # Witnesses hold no object state to serve (repro.scale).
+            reject("not_active")
+            return
         if self.is_primary:
             if not reads.lease_valid(self.cur_view):
                 if reads.was_valid:
@@ -758,7 +898,25 @@ class Cohort(Actor):
     def _heartbeat(self) -> None:
         batch = self.config.batch
         suppress = batch.enabled and batch.piggyback_liveness
-        for peer, address in self.configuration:
+        evidence: Tuple[Tuple[int, float], ...] = ()
+        if self._gossip_rng is not None:
+            # Gossip mode (repro.scale): beacon a seeded-random fan-out of
+            # peers, carrying recent liveness evidence; the epidemic relay
+            # replaces the all-peers broadcast.
+            pairs = self._gossip_pairs()
+            evidence = self._gossip_evidence()
+            if evidence and self.tracer is not None:
+                self.tracer.emit(
+                    "gossip_relay",
+                    node=self.node.node_id,
+                    group=self.mygroupid,
+                    mid=self.mymid,
+                    targets=sorted(peer for peer, _addr in pairs),
+                    evidence=len(evidence),
+                )
+        else:
+            pairs = self.configuration
+        for peer, address in pairs:
             if peer == self.mymid:
                 continue
             if suppress:
@@ -790,16 +948,80 @@ class Cohort(Actor):
                     sent_at=self.sim.now,
                     lease_until=lease_until,
                     primary_ts=primary_ts,
+                    evidence=evidence,
                 ),
             )
+        if self.is_active_primary and self._witness_install_pending:
+            self._resend_witness_installs()
         if self.status is Status.ACTIVE:
             self._liveness_sweep()
         self.set_timer(self.config.im_alive_interval, self._heartbeat)
+
+    def _gossip_pairs(self):
+        """The (peer, address) fan-out this gossip round beacons."""
+        scale = self.scale
+        peers = [pair for pair in self.configuration if pair[0] != self.mymid]
+        k = min(scale.gossip_fanout, len(peers))
+        if k >= len(peers):
+            return peers
+        chosen = self._gossip_rng.sample(peers, k)
+        if (
+            self.reads is not None
+            and self.status is Status.ACTIVE
+            and self.cur_view is not None
+            and not self.is_primary
+        ):
+            primary = self.cur_view.primary
+            if all(peer != primary for peer, _addr in chosen):
+                # Lease grants ride the beacon: the primary must keep
+                # hearing us directly even on rounds the epidemic fan-out
+                # happens to miss it.
+                chosen.append((primary, self.peer_address(primary)))
+        return chosen
+
+    def _gossip_evidence(self) -> Tuple[Tuple[int, float], ...]:
+        """Fresh (mid, heard_at) liveness evidence to relay this round."""
+        horizon = (
+            self.scale.evidence_horizon_intervals * self.config.im_alive_interval
+        )
+        cutoff = self.sim.now - horizon
+        evidence = []
+        for peer, _addr in self.configuration:
+            if peer == self.mymid:
+                continue
+            heard = self.detect.last_heard(peer)
+            if heard > 0.0 and heard >= cutoff:
+                evidence.append((peer, heard))
+        return tuple(evidence)
+
+    def _resend_witness_installs(self) -> None:
+        """Retransmit unconfirmed witness view installs (loss recovery)."""
+        pending = [
+            peer
+            for peer in sorted(self._witness_install_pending)
+            if peer in self.cur_view
+        ]
+        self._witness_install_pending = set(pending)
+        for peer in pending:
+            self.send_mid(
+                peer,
+                m.WitnessInstallMsg(viewid=self.cur_viewid, view=self.cur_view),
+            )
 
     def _handle_im_alive(self, msg: m.ImAliveMsg) -> None:
         previously_silent = self._is_suspect(msg.mid)
         self.last_heard[msg.mid] = self.sim.now
         self.detect.heard(msg.mid, sent_at=msg.sent_at)
+        if msg.evidence:
+            # Gossip (repro.scale): relayed liveness evidence.  Relay hops
+            # are excluded from the RTT estimator by design; the interval
+            # EWMA is fed origin-time deltas (see heard_relayed).
+            for peer, heard_at in msg.evidence:
+                if peer == self.mymid or peer == msg.mid:
+                    continue
+                self.detect.heard_relayed(peer, heard_at)
+                if heard_at > self.last_heard.get(peer, 0.0):
+                    self.last_heard[peer] = heard_at
         if self.reads is not None and msg.viewid == self.cur_viewid:
             if msg.lease_until is not None and self.is_active_primary:
                 self._note_lease_grant(msg.mid, msg.lease_until)
@@ -901,7 +1123,7 @@ class Cohort(Actor):
             return True  # only the primary is suspect of itself; nothing to do
         edited = tuple(sorted(new_backups))
         self.add_record(ViewEdit(backups=edited))
-        self.buffer.set_backups(edited)
+        self.buffer.set_backups(self._storage_backups(edited))
         self.metrics.incr("unilateral_view_edits")
         self.buffer.flush()
         return True
@@ -944,7 +1166,7 @@ class Cohort(Actor):
 
         self.buffer = CommunicationBuffer(
             viewid=self.cur_viewid,
-            backups=self.cur_view.backups,
+            backups=self._storage_backups(self.cur_view.backups),
             configuration_size=self.config_size,
             send=self._buffer_send,
             set_timer=self.set_timer,
@@ -1017,6 +1239,19 @@ class Cohort(Actor):
         self.client_role.on_become_primary()
         self._start_flush_loop()
         self.buffer.flush()
+        if self._witnesses:
+            # Witnesses receive no buffer traffic, so the formed view is
+            # announced to them explicitly; retransmitted from the
+            # heartbeat loop until each confirms (repro.scale).
+            self._witness_install_pending = {
+                peer
+                for peer in view.members
+                if peer != self.mymid and peer in self._witnesses
+            }
+            for peer in sorted(self._witness_install_pending):
+                self.send_mid(
+                    peer, m.WitnessInstallMsg(viewid=viewid, view=view)
+                )
         self.metrics.incr(f"views_started:{self.mygroupid}")
         self.runtime.ledger.record_view_change(self.mygroupid, viewid, self.mymid)
         self.sim.trace(
@@ -1055,6 +1290,32 @@ class Cohort(Actor):
                 viewid=str(viewid),
             )
         self._ack_buffer()
+        self.metrics.incr(f"views_joined:{self.mygroupid}")
+
+    def install_as_witness(self, viewid: ViewId, view: View) -> None:
+        """Witness: adopt a formed view (repro.scale).
+
+        There is no state to install -- a witness holds no event buffer and
+        applies no records -- so adoption is just the view pointer flip the
+        storage path performs as part of ``install_newview``."""
+        self._epoch += 1
+        self.cur_viewid = viewid
+        self.cur_view = view
+        self.up_to_date = True
+        self.status = Status.ACTIVE
+        self.buffer = None
+        self.applied_ts = 0
+        if self.reads is not None:
+            self.reads.reset_grants()
+        if self.tracer is not None:
+            self.tracer.emit(
+                "newview_installed",
+                node=self.node.node_id,
+                group=self.mygroupid,
+                mid=self.mymid,
+                viewid=str(viewid),
+                witness=True,
+            )
         self.metrics.incr(f"views_joined:{self.mygroupid}")
 
     def _rematerialize_locks(self) -> None:
@@ -1103,6 +1364,11 @@ class Cohort(Actor):
         if self.buffer is not None:
             self.buffer.close()
             self.buffer = None
+        # Volatile scale state dies with the process (repro.scale).
+        self._ack_children = {}
+        self._ack_children_viewid = None
+        self._ack_fwd_armed = False
+        self._witness_install_pending = set()
 
     def on_recover(self) -> None:
         """Section 4: initialize up_to_date false, max_viewid from stable

@@ -41,6 +41,14 @@ class ModuleGroup:
         )
         runtime.location.register(groupid, self.configuration)
 
+        self.witness_mids: frozenset = frozenset()
+        scale = self.config.scale
+        if scale is not None and scale.witnesses > 0:
+            from repro.scale import validate_witnesses, witness_mids
+
+            validate_witnesses(len(nodes), scale.witnesses)
+            self.witness_mids = witness_mids(len(nodes), scale.witnesses)
+
         initial_viewid = ViewId(1, 0)
         initial_view = View(primary=0, backups=tuple(range(1, len(nodes))))
         self.cohorts: Dict[int, Cohort] = {}
@@ -117,6 +125,8 @@ class ModuleGroup:
         for cohort in self.active_cohorts():
             if cohort.mymid == primary.mymid:
                 continue
+            if cohort.mymid in self.witness_mids:
+                continue  # witnesses hold no state to converge (repro.scale)
             if cohort.cur_viewid != primary.cur_viewid:
                 return False
             if cohort.applied_ts < primary.buffer.timestamp:
@@ -135,6 +145,8 @@ class ModuleGroup:
         for cohort in self.active_cohorts():
             if cohort.mymid == primary.mymid:
                 continue
+            if cohort.mymid in self.witness_mids:
+                continue  # witnesses hold no state to compare (repro.scale)
             if cohort.cur_viewid != primary.cur_viewid:
                 problems.append(
                     f"{cohort.address}: view {cohort.cur_viewid} != "

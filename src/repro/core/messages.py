@@ -200,6 +200,10 @@ class BufferAckMsg(Message):
     mid: int
     sent_at: Optional[float] = None
     lease_until: Optional[float] = None
+    agg: Tuple[Tuple[int, int], ...] = ()  # ack tree (repro.scale): the
+    #                                 sender's subtree's (mid, acked_ts)
+    #                                 pairs, aggregated up the fan-in tree;
+    #                                 empty on the direct (paper) path
 
 
 # ---------------------------------------------------------------------------
@@ -228,6 +232,11 @@ class ImAliveMsg(Message):
     sent_at: Optional[float] = None
     lease_until: Optional[float] = None
     primary_ts: Optional[int] = None
+    evidence: Tuple[Tuple[int, float], ...] = ()  # gossip (repro.scale):
+    #                                 (mid, heard_at) liveness evidence the
+    #                                 sender vouches for; receivers fold it
+    #                                 into the detector via heard_relayed
+    #                                 (never into the RTT estimator)
 
 
 @dataclasses.dataclass(slots=True)
@@ -263,6 +272,11 @@ class AcceptMsg(Message):
     #                                 outstanding; a crashed acceptor
     #                                 reports (-1, now + lease_duration)
     #                                 because its promises died with it
+    witness: bool = False           # scale enabled: the acceptor is a
+    #                                 bufferless witness -- its vote counts
+    #                                 toward the majority, but it carries
+    #                                 no event history and can never be
+    #                                 chosen primary or a storage backup
 
 
 @dataclasses.dataclass(slots=True)
@@ -283,6 +297,21 @@ class InitViewMsg(Message):
 # view discovery (section 3: "communicates with members of the configuration
 # to determine the current primary and viewid")
 # ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(slots=True)
+class WitnessInstallMsg(Message):
+    """New primary -> witness: adopt view *viewid* (repro.scale).
+
+    Witnesses hold no event buffer, so they never receive the
+    :class:`BufferMsg` that tells a storage backup a formed view started
+    (``on_buffer_while_underling``).  The activating primary sends them
+    this explicit notice instead; a witness stable-writes the viewid and
+    adopts the view, exactly as a storage backup would on first buffer
+    traffic."""
+
+    viewid: ViewId
+    view: View
 
 
 @dataclasses.dataclass(slots=True)

@@ -183,6 +183,31 @@ class ViewChangeController:
             # defer the new primary past any lease an old one could still
             # be serving under (docs/READS.md).
             lease_promises = cohort.reads.outstanding_promises()
+        if cohort.is_witness:
+            # Witnesses vote -- the acceptance counts toward the majority
+            # and they join the formed view -- but carry no viewstamp
+            # evidence: they hold no event buffer, so the formation
+            # conditions must be met by storage members alone
+            # (repro.scale, docs/SCALE.md).
+            if cohort.tracer is not None:
+                cohort.tracer.emit(
+                    "witness_vote",
+                    node=cohort.node.node_id,
+                    group=cohort.mygroupid,
+                    mid=cohort.mymid,
+                    viewid=str(cohort.max_viewid),
+                )
+            return m.AcceptMsg(
+                viewid=cohort.max_viewid,
+                mid=cohort.mymid,
+                crashed=False,
+                viewstamp=None,
+                was_primary=False,
+                crash_viewid=None,
+                view=cohort.cur_view,
+                lease_promises=lease_promises,
+                witness=True,
+            )
         if cohort.up_to_date:
             return m.AcceptMsg(
                 viewid=cohort.max_viewid,
@@ -352,13 +377,43 @@ class ViewChangeController:
         accepted = list(responses.values())
         if len(accepted) < majority(cohort.config_size):
             return None
-        normals = [a for a in accepted if not a.crashed]
-        crashed = [a for a in accepted if a.crashed]
+        # Witness acceptances (repro.scale) count toward the majority and
+        # join the formed view, but carry no viewstamp/crash evidence --
+        # they are excluded from both evidence partitions.
+        normals = [a for a in accepted if not a.crashed and not a.witness]
+        crashed = [a for a in accepted if a.crashed and not a.witness]
         if not normals:
             return None
         normal_vs: Viewstamp = max(a.viewstamp for a in normals)
         normal_viewid = normal_vs.id
-        if crashed:
+        cfg_witnesses = getattr(cohort, "_witnesses", frozenset())
+        if cfg_witnesses:
+            # With witnesses configured, force quorums are all-storage
+            # (``majority(n)`` buffer-holding members counting the
+            # primary), so the paper's condition 1 relaxes to *coverage*:
+            # enough storage members accepted normally that they intersect
+            # every possible force quorum of every view, hence no forced
+            # event can be missing from their joint state.
+            storage = cohort.config_size - len(cfg_witnesses)
+            covered = len(normals) >= storage - majority(cohort.config_size) + 1
+            if not crashed:
+                if not covered:
+                    return None
+            else:
+                crash_viewid = max(a.crash_viewid for a in crashed)
+                cond2 = crash_viewid < normal_viewid
+                cond3 = crash_viewid == normal_viewid and any(
+                    a.was_primary and a.viewstamp.id == normal_viewid
+                    for a in normals
+                )
+                cond4 = (
+                    crash_viewid == normal_viewid
+                    and getattr(cohort.config, "extended_formation_rule", False)
+                    and self._backups_cover_forces(normals, normal_viewid)
+                )
+                if not (covered or cond2 or cond3 or cond4):
+                    return None
+        elif crashed:
             crash_viewid = max(a.crash_viewid for a in crashed)
             cond1 = len(normals) >= majority(cohort.config_size)
             cond2 = crash_viewid < normal_viewid
@@ -397,8 +452,12 @@ class ViewChangeController:
         old_view = next((a.view for a in members if a.view is not None), None)
         if old_view is None or old_view.primary in {a.mid for a in members}:
             return False  # no membership info / condition 3 territory
-        old_backups = [a for a in members if a.mid in old_view.backups]
-        needed = len(old_view.backups) - sub_majority(self.cohort.config_size) + 1
+        # Witnesses never ack buffer records, so force quorums were drawn
+        # from the storage backups only (repro.scale).
+        cfg_witnesses = getattr(self.cohort, "_witnesses", frozenset())
+        storage_backups = [b for b in old_view.backups if b not in cfg_witnesses]
+        old_backups = [a for a in members if a.mid in storage_backups]
+        needed = len(storage_backups) - sub_majority(self.cohort.config_size) + 1
         return len(old_backups) >= max(needed, 1)
 
     @staticmethod
@@ -546,6 +605,64 @@ class ViewChangeController:
             cohort.install_newview(viewid, first_record)
 
         write.add_done_callback(on_durable)
+
+    # ------------------------------------------------------------------
+    # witness: view announcements outside the buffer (repro.scale)
+    # ------------------------------------------------------------------
+
+    def on_witness_install(self, msg: m.WitnessInstallMsg) -> None:
+        """A new primary announced its formed view to this witness.
+
+        Witnesses receive no buffer traffic, so the newview record never
+        reaches them; the activating primary sends an explicit
+        ``WitnessInstallMsg`` instead and retransmits it from its heartbeat
+        loop until the witness confirms.  The confirmation reuses
+        ``BufferAckMsg(acked_ts=0)`` -- harmless to the buffer (a witness
+        mid is not in its acked map) and idempotent under loss.
+        """
+        from repro.core.cohort import Status
+
+        cohort = self.cohort
+        if not cohort.is_witness:
+            return
+        if cohort.status is Status.ACTIVE and cohort.cur_viewid == msg.viewid:
+            # Duplicate announcement: our ack was lost; just re-confirm.
+            self._ack_witness_install(msg)
+            return
+        if msg.viewid < cohort.max_viewid or self._installing:
+            return
+        if cohort.status is Status.ACTIVE:
+            # The announcement outran an invitation (or we missed the
+            # round entirely); a formed view always supersedes.
+            cohort.leave_active()
+        cohort.max_viewid = msg.viewid
+        cohort.status = Status.UNDERLING
+        self._installing = True
+        viewid = msg.viewid
+        view = msg.view
+
+        def on_durable(future) -> None:
+            self._installing = False
+            if cohort.max_viewid != viewid or not cohort.node.up:
+                return
+            if cohort.status is not Status.UNDERLING:
+                return
+            if future.exception() is not None:
+                self._on_viewid_write_failed(viewid, future.exception())
+                return
+            self._cancel_timers()
+            cohort.install_as_witness(viewid, view)
+            self._ack_witness_install(msg)
+
+        write = cohort.stable.write("cur_viewid", viewid)
+        write.add_done_callback(on_durable)
+
+    def _ack_witness_install(self, msg: m.WitnessInstallMsg) -> None:
+        cohort = self.cohort
+        cohort.send_mid(
+            msg.view.primary,
+            m.BufferAckMsg(viewid=msg.viewid, acked_ts=0, mid=cohort.mymid),
+        )
 
     # ------------------------------------------------------------------
 

@@ -111,6 +111,45 @@ class FailureDetector:
             if self.on_transition is not None:
                 self.on_transition(mid, False)
 
+    def heard_relayed(self, mid: int, evidence_at: float) -> None:
+        """Second-hand liveness: a relay vouched *mid* was alive at *evidence_at*.
+
+        Gossip (repro.scale) forwards ``(mid, heard_at)`` evidence through
+        intermediaries, so the hop count between the evidence's origin and
+        us is unknown -- relayed evidence must NOT feed the RTT estimator:
+        a Jacobson/Karels sample inflated by relay hops would corrupt every
+        RTO-derived timeout.  ``last_heard`` advances monotonically in
+        *origin* time, and the inter-arrival EWMA is fed the origin-time
+        delta: under epidemic dissemination a peer is heard *directly*
+        only every ~``n/fanout`` periods, so arrival spacing of direct
+        beats would learn an absurdly lazy baseline, while the cadence at
+        which fresh evidence about the peer reaches us is exactly the
+        expected-silence unit the accrual threshold should use.
+        """
+        state = self._peers.get(mid)
+        if state is None:
+            return
+        if evidence_at <= state.last_heard:
+            return
+        if state.last_heard > 0.0:
+            interval = evidence_at - state.last_heard
+            if state.mean_interval is None:
+                state.mean_interval = interval
+                state.interval_dev = interval / 2.0
+            else:
+                gain = self.GAIN
+                state.interval_dev = (1.0 - gain) * state.interval_dev + (
+                    gain * abs(interval - state.mean_interval)
+                )
+                state.mean_interval = (
+                    1.0 - gain
+                ) * state.mean_interval + gain * interval
+        state.last_heard = evidence_at
+        if state.suspected:
+            state.suspected = False
+            if self.on_transition is not None:
+                self.on_transition(mid, False)
+
     def observe_rtt(self, mid: int, sample: float) -> None:
         state = self._peers.get(mid)
         if state is not None:

@@ -117,16 +117,39 @@ class CrashChurnRule(FaultRule):
 
     def _crash_would_strand(self, controller, node_id: str) -> bool:
         """Would crashing *node_id* leave ``protect_group`` without a
-        majority of up, up-to-date cohorts?"""
+        majority of up, up-to-date cohorts?
+
+        With witness replicas (repro.scale) a bare majority is not enough:
+        witnesses hold no event buffer, so a surviving quorum made mostly
+        (or entirely) of witnesses cannot cover the force quorums of past
+        views and the group can never safely re-form.  The guard therefore
+        additionally requires enough up, up-to-date *storage* cohorts to
+        intersect every all-storage force quorum (the form_view coverage
+        condition).  With no witnesses configured both checks coincide
+        with the original majority test.
+        """
         group = controller.runtime.groups[self.protect_group]
-        survivors = sum(
-            1
-            for cohort in group.cohorts.values()
-            if cohort.node.node_id != node_id
-            and cohort.node.up
-            and cohort.up_to_date
-        )
-        return survivors < group.majority_size()
+        witness_mids = getattr(group, "witness_mids", frozenset())
+        survivors = 0
+        storage_survivors = 0
+        for cohort in group.cohorts.values():
+            if (
+                cohort.node.node_id == node_id
+                or not cohort.node.up
+                or not cohort.up_to_date
+            ):
+                continue
+            survivors += 1
+            if cohort.mymid not in witness_mids:
+                storage_survivors += 1
+        if survivors < group.majority_size():
+            return True
+        if witness_mids:
+            storage_total = group.size - len(witness_mids)
+            needed = max(1, storage_total - group.majority_size() + 1)
+            if storage_survivors < needed:
+                return True
+        return False
 
     def _churn(self, controller, node_id: str, rng):
         node = controller.node(node_id)

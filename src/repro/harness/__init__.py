@@ -30,6 +30,7 @@ from repro.harness.experiments_robustness import e16_liveness
 from repro.harness.experiments_scale import e17_sharding, e18_batching
 from repro.harness.experiments_geo import e20_geo
 from repro.harness.experiments_reads import e19_reads
+from repro.harness.experiments_cohort import e21_cohort_scale
 
 ALL_EXPERIMENTS = {
     "E1": e01_call_overhead,
@@ -51,6 +52,7 @@ ALL_EXPERIMENTS = {
     "E18": e18_batching,
     "E19": e19_reads,
     "E20": e20_geo,
+    "E21": e21_cohort_scale,
 }
 
 __all__ = [
@@ -76,4 +78,5 @@ __all__ = [
     "e18_batching",
     "e19_reads",
     "e20_geo",
+    "e21_cohort_scale",
 ]

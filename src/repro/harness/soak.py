@@ -30,7 +30,7 @@ from repro.trace.export import write_jsonl
 def run_soak(seed: int = 2026, duration: float = 15_000.0,
              verbose: bool = True, on_runtime=None, trace=None,
              liveness: bool = False, reads: bool = False,
-             geo: bool = False) -> dict:
+             geo: bool = False, scale: bool = False) -> dict:
     """One soak run; returns summary stats, raises AssertionError on a
     safety violation, an online invariant violation (``trace`` with
     monitors enabled), a liveness violation (``liveness=True``), or
@@ -51,9 +51,17 @@ def run_soak(seed: int = 2026, duration: float = 15_000.0,
     ``geo`` spreads the group across a 3-datacenter topology with a
     sited driver and swaps the flat partition storm for region-scale
     chaos: random region partitions, WAN degradation episodes, and
-    primary crashes."""
+    primary crashes.  ``scale`` grows the group to 9 cohorts with every
+    ``repro.scale`` mechanism armed (gossip heartbeats, ack trees, and
+    two witness replicas), so epidemic liveness, tree-aggregated acks,
+    and witness voting are all exercised under the nemesis."""
     geo_cfg = None
     read_cfg = None
+    scale_cfg = None
+    if scale:
+        from repro.config import ScaleConfig
+
+        scale_cfg = ScaleConfig(gossip=True, ack_tree=True, witnesses=2)
     if reads:
         from repro.config import ReadConfig
 
@@ -68,12 +76,13 @@ def run_soak(seed: int = 2026, duration: float = 15_000.0,
             placement="spread",
         )
     config = None
-    if read_cfg is not None or geo_cfg is not None:
+    if read_cfg is not None or geo_cfg is not None or scale_cfg is not None:
         from repro.config import ProtocolConfig
 
-        config = ProtocolConfig(reads=read_cfg, geo=geo_cfg)
+        config = ProtocolConfig(reads=read_cfg, geo=geo_cfg, scale=scale_cfg)
+    n_cohorts = 5 if geo else (9 if scale else 3)
     rt, kv, _clients, driver, spec = build_kv_system(
-        seed=seed, n_cohorts=5 if geo else 3, trace=trace, config=config,
+        seed=seed, n_cohorts=n_cohorts, trace=trace, config=config,
         driver_site="dc-a/z1" if geo else None,
     )
     if on_runtime is not None:
@@ -183,6 +192,12 @@ def run_soak(seed: int = 2026, duration: float = 15_000.0,
             "region_partitions": rt.faults.count("region_partition"),
             "wan_degradations": rt.faults.count("wan_degradation"),
         })
+    if scale:
+        stats.update({
+            "cohorts": n_cohorts,
+            "witnesses": len(kv.witness_mids),
+            "messages": rt.network.messages_sent_total,
+        })
     if reads:
         stats.update({
             "read_probes": reads_outcomes["total"],
@@ -261,6 +276,12 @@ def main(argv=None) -> int:
              "WAN degradation episodes",
     )
     parser.add_argument(
+        "--scale", action="store_true",
+        help="grow the group to 9 cohorts with every repro.scale "
+             "mechanism armed (gossip heartbeats, ack trees, two witness "
+             "replicas) so the scaled paths run under the nemesis",
+    )
+    parser.add_argument(
         "--artifact-dir", default=None, metavar="DIR",
         help="on failure, write the failure report, the full trace JSONL, "
              "and the violation's causal slice here (CI uploads DIR)",
@@ -283,6 +304,7 @@ def main(argv=None) -> int:
             seed=args.seed, duration=args.duration, trace=trace,
             on_runtime=lambda rt: captured.setdefault("rt", rt),
             liveness=args.liveness, reads=args.reads, geo=args.geo,
+            scale=args.scale,
         )
     except AssertionError as failure:
         print(f"SOAK FAILED: {failure}", file=sys.stderr)

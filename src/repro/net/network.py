@@ -68,6 +68,18 @@ class Network:
         # scheduled copy has been consumed, killing the per-send allocation
         # on the hot path.
         self._envelope_pool: list[Envelope] = []
+        # Opt-in per-address load counters (E21 measures primary hot-spot
+        # load); None keeps the hot path at one load + ``is None`` test.
+        self._address_counters: Optional[dict] = None
+
+    def enable_address_counters(self) -> None:
+        """Start counting sends/deliveries per address (repro.scale E21)."""
+        if self._address_counters is None:
+            self._address_counters = {"sent": {}, "delivered": {}}
+
+    def address_counters(self) -> Optional[dict]:
+        """``{"sent": {addr: n}, "delivered": {addr: n}}`` or None."""
+        return self._address_counters
 
     def _acquire_envelope(self, destination: str, payload: Message, source: str) -> Envelope:
         self._next_msg_id += 1
@@ -323,6 +335,10 @@ class Network:
         envelope = self._acquire_envelope(destination, payload, source)
         self.messages_sent_total += 1
         self.metrics.on_send(payload.msg_type, payload.byte_size())
+        counters = self._address_counters
+        if counters is not None:
+            sent = counters["sent"]
+            sent[source] = sent.get(source, 0) + 1
         tracer = self.tracer
         if tracer is not None:
             tracer.on_send(envelope)
@@ -396,6 +412,12 @@ class Network:
             self._delivered_ids = {i for i in self._delivered_ids if i > cutoff}
         self.messages_delivered_total += 1
         self.metrics.on_deliver(envelope.payload.msg_type)
+        counters = self._address_counters
+        if counters is not None:
+            delivered = counters["delivered"]
+            delivered[envelope.destination] = (
+                delivered.get(envelope.destination, 0) + 1
+            )
         if tracer is None:
             payload, source = envelope.payload, envelope.source
             self._release_envelope(envelope)

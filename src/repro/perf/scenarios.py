@@ -35,6 +35,11 @@ Six scenarios spanning the regimes the roadmap cares about:
   machinery armed but idle, which must schedule identically to the
   reads-disabled run (gating ``ReadConfig``'s zero-cost-when-disabled
   claim the way ``trace_overhead`` gates tracing's).
+- ``scale_overhead``: the ScaleConfig zero-cost claim -- the same seeded
+  KV batch with ``scale=None`` and with an all-off ``ScaleConfig`` (the
+  two must schedule byte-identically), plus an armed 7-cohort pass
+  (gossip + ack tree + witnesses) whose final replicated state must
+  match its own unscaled baseline.
 - ``geo_overhead`` / ``geo_commit_latency``: the E20 shapes -- the same
   seeded KV batch on the flat network and on a degenerate one-DC
   topology whose every tier is the LAN default (the two must schedule
@@ -446,6 +451,62 @@ def _lease_overhead(quick: bool):
     return rt_off
 
 
+def _scale_overhead(quick: bool):
+    """The ScaleConfig zero-cost claim, measured: the same seeded KV batch
+    with ``scale=None`` and with an all-off :class:`ScaleConfig` attached.
+    The Cohort constructor normalizes an all-off config to ``None``, so
+    the armed-off run must schedule *identically* -- asserted on the full
+    ledger digest, event count and clock included.  A third pass arms
+    every mechanism (gossip + ack tree + witnesses) on a 7-cohort group;
+    armed mechanisms move messages, so only the final replicated *state*
+    must match, and the armed/off events-per-wall-second ratio lands in
+    ``extra``.  The ``scale=None`` pass supplies the report's events/s
+    figure and digest, so the baseline gate gates the disabled hot path."""
+    from repro.config import ProtocolConfig, ScaleConfig
+    from repro.perf.report import state_digest
+
+    txns = 150 if quick else 450
+
+    def one(config, n_cohorts=3):
+        rt, _kv, _clients, driver, spec = build_kv_system(
+            seed=4242, n_cohorts=n_cohorts, config=config
+        )
+        started = time.perf_counter()
+        run_kv_batch(rt, driver, spec, txns, read_fraction=0.5, concurrency=4)
+        rt.quiesce()
+        elapsed = time.perf_counter() - started
+        return rt, rt.sim.events_processed / max(elapsed, 1e-9)
+
+    rt_off, rate_off = one(None)
+    rt_alloff, rate_alloff = one(ProtocolConfig(scale=ScaleConfig()))
+    if _digest(rt_off) != _digest(rt_alloff):
+        raise AssertionError(
+            "scale_overhead: all-off ScaleConfig scheduled differently from "
+            f"scale=None ({_digest(rt_off)[:12]} != {_digest(rt_alloff)[:12]})"
+        )
+    armed = ProtocolConfig(
+        scale=ScaleConfig(gossip=True, ack_tree=True, witnesses=2)
+    )
+    rt_armed, rate_armed = one(armed, n_cohorts=7)
+    rt_base7, _ = one(None, n_cohorts=7)
+    if state_digest(rt_armed) != state_digest(rt_base7):
+        raise AssertionError(
+            "scale_overhead: armed mechanisms changed the replicated state "
+            f"({state_digest(rt_base7)[:12]} != {state_digest(rt_armed)[:12]})"
+        )
+    rt_off.perf_extra = {
+        "events_per_sec_disabled": round(rate_off, 1),
+        "events_per_sec_all_off": round(rate_alloff, 1),
+        "all_off_overhead_pct": round(
+            100.0 * (1.0 - rate_alloff / rate_off), 2
+        ),
+        "events_per_sec_armed_n7": round(rate_armed, 1),
+        "armed_messages_n7": rt_armed.network.messages_sent_total,
+        "baseline_messages_n7": rt_base7.network.messages_sent_total,
+    }
+    return rt_off
+
+
 def _geo_overhead(quick: bool):
     """The GeoConfig zero-cost claim, measured: the same seeded KV batch
     on the flat network (``geo is None``) and on a degenerate one-DC
@@ -554,6 +615,7 @@ SCENARIOS: List[Scenario] = [
     Scenario("batching_pipeline", 1819, "call_latency:kv", _batching_pipeline),
     Scenario("read_throughput", 1901, "driver_read_latency", _read_throughput),
     Scenario("lease_overhead", 4242, "call_latency:kv", _lease_overhead),
+    Scenario("scale_overhead", 4242, "call_latency:kv", _scale_overhead),
     Scenario("geo_overhead", 4242, "call_latency:kv", _geo_overhead),
     Scenario("geo_commit_latency", 2020, "call_latency:kv", _geo_commit_latency),
 ]

@@ -1,0 +1,115 @@
+"""``python -m repro.scale.gate``: the scale determinism gate.
+
+Runs one seeded retry-until-commit workload on a 7-cohort group under
+each scale condition, each **twice**, and fails unless
+
+- every run commits every write,
+- the two same-seed runs of each condition agree byte-for-byte on
+  metrics and on both digests (same seed => same run, with gossip, ack
+  trees, and witnesses armed),
+- ``scale=None`` and an all-off :class:`~repro.config.ScaleConfig`
+  produce *ledger* digests byte-identical to each other -- disabled
+  mechanisms cost nothing and perturb nothing, down to the schedule --
+  and
+- every armed mechanism's final replicated *state* digest is
+  byte-identical to the baseline's (scaling mechanisms move messages
+  and shift schedules; they may never change what the protocol
+  computes).
+
+This is CI's check that ``repro.scale`` is a dissemination/aggregation
+plane, not a second protocol.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import ScaleConfig
+from repro.harness.experiments_cohort import _scale_state_run
+
+#: Gate conditions: None = the paper-faithful baseline; the all-off
+#: ScaleConfig must be byte-identical to it, schedules included.
+GATE_CONDITIONS = (
+    ("baseline", None),
+    ("all-off", ScaleConfig()),
+    ("gossip", ScaleConfig(gossip=True)),
+    ("acktree", ScaleConfig(ack_tree=True)),
+    ("witness", ScaleConfig(witnesses=2)),
+    ("all-on", ScaleConfig(gossip=True, ack_tree=True, witnesses=2)),
+)
+
+#: Conditions whose *schedule* (ledger digest) must match the baseline's.
+SCHEDULE_IDENTICAL = ("baseline", "all-off")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0], prog="python -m repro.scale.gate"
+    )
+    parser.add_argument("--seed", type=int, default=21)
+    parser.add_argument("--txns", type=int, default=32)
+    parser.add_argument("--cohorts", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    failed = False
+    baseline_ledger = None
+    baseline_state = None
+    for label, scale in GATE_CONDITIONS:
+        runs = [
+            _scale_state_run(
+                args.seed, scale, txns=args.txns, n_cohorts=args.cohorts
+            )
+            for _ in range(2)
+        ]
+        metrics, ledger, state = runs[0]
+        print(
+            f"{label:>10}: writes={metrics['writes_committed']} "
+            f"msgs={metrics['messages']} ledger={ledger[:12]}... "
+            f"state={state[:12]}..."
+        )
+        if runs[0] != runs[1]:
+            print(
+                f"scalegate: FAIL -- {label} same-seed runs diverged:\n"
+                f"  {runs[0]}\n  {runs[1]}",
+                file=sys.stderr,
+            )
+            failed = True
+        if metrics["writes_committed"] != args.txns:
+            print(
+                f"scalegate: FAIL -- {label} committed only "
+                f"{metrics['writes_committed']}/{args.txns} writes",
+                file=sys.stderr,
+            )
+            failed = True
+        if label == "baseline":
+            baseline_ledger = ledger
+            baseline_state = state
+            continue
+        if label in SCHEDULE_IDENTICAL and ledger != baseline_ledger:
+            print(
+                f"scalegate: FAIL -- {label} schedule (ledger digest) "
+                f"diverged from scale=None; disabled mechanisms must be "
+                f"byte-identical:\n  {baseline_ledger}\n  {ledger}",
+                file=sys.stderr,
+            )
+            failed = True
+        if state != baseline_state:
+            print(
+                f"scalegate: FAIL -- {label} state digest diverged from "
+                f"the baseline:\n  {baseline_state}\n  {state}",
+                file=sys.stderr,
+            )
+            failed = True
+    if failed:
+        return 1
+    print(
+        f"scalegate: OK ({len(GATE_CONDITIONS)} conditions x 2 same-seed "
+        "runs; all-off byte-identical to scale=None; armed states "
+        "byte-identical to the baseline)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

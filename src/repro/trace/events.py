@@ -78,6 +78,10 @@ EVENT_KINDS: Dict[str, str] = {
     "stale_read": "a backup served a stale-bounded read from its prefix",
     # geo routing (repro.geo, driver.py)
     "geo_route": "a sited driver routed a read to its nearest serving replica",
+    # cohort scaling (repro.scale, core/cohort.py, core/view_change.py)
+    "gossip_relay": "a heartbeat carried relayed liveness evidence to gossip peers",
+    "ack_tree": "an interior backup forwarded its subtree's aggregated buffer acks",
+    "witness_vote": "a witness accepted an invitation without viewstamp evidence",
 }
 
 
